@@ -1,0 +1,31 @@
+// Figure 2(b): CDF of X.509 certificate field sizes (subject, issuer,
+// SubjectPublicKeyInfo, extensions, signature) across the corpus.
+#include "common.hpp"
+#include "core/certificates.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 2(b)", "X.509 certificate field size distribution");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  const auto corpus =
+      core::analyze_corpus(model, {.max_services = bench::sample_cap(6000)});
+
+  bench::print_cdf("Subject", corpus.field_subject);
+  bench::print_cdf("Issuer", corpus.field_issuer);
+  bench::print_cdf("SubjectPublicKeyInfo", corpus.field_spki);
+  bench::print_cdf("Extensions", corpus.field_extensions);
+  bench::print_cdf("Signature", corpus.field_signature);
+
+  std::printf(
+      "\nPaper: extensions, then signature and public key, consume the "
+      "most certificate bytes.\n"
+      "Measured medians [B]: subject=%.0f issuer=%.0f spki=%.0f "
+      "extensions=%.0f signature=%.0f\n",
+      corpus.field_subject.median(), corpus.field_issuer.median(),
+      corpus.field_spki.median(), corpus.field_extensions.median(),
+      corpus.field_signature.median());
+  bench::footnote_scale(cfg);
+  return 0;
+}

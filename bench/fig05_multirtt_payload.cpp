@@ -1,0 +1,47 @@
+// Figure 5: payload exchanged during multi-RTT handshakes, split into
+// TLS payload and remaining QUIC bytes, ranked by received volume.
+#include <algorithm>
+
+#include "common.hpp"
+#include "core/census.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 5", "payload exchanged during multi-RTT handshakes");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  core::census_options opt;
+  opt.initial_size = 1362;
+  opt.max_services = bench::sample_cap(3000);
+  const auto census = core::run_census(model, opt);
+
+  auto rows = census.multi_rtt_payload;  // (total received, TLS-only)
+  std::sort(rows.begin(), rows.end());
+  const std::size_t limit = 3 * 1362;
+
+  text_table table({"rank", "received [B]", "TLS-only [B]", "QUIC rest [B]",
+                    "TLS alone > 3x limit?"});
+  const std::size_t steps = 12;
+  for (std::size_t i = 0; i < steps && !rows.empty(); ++i) {
+    const std::size_t idx =
+        i * (rows.size() - 1) / (steps > 1 ? steps - 1 : 1);
+    const auto& [total, tls] = rows[idx];
+    table.add_row({std::to_string(idx), std::to_string(total),
+                   std::to_string(tls), std::to_string(total - tls),
+                   tls > limit ? "yes" : "no"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double exceeding =
+      rows.empty() ? 0.0
+                   : static_cast<double>(census.multi_tls_exceeding_limit) /
+                         static_cast<double>(rows.size());
+  std::printf(
+      "\nTLS payload alone exceeds the 3x limit for %.1f%% of multi-RTT "
+      "handshakes (paper: 87%%).\nMaximum remaining QUIC bytes: %zu "
+      "(paper annotation: 27461 at 1M scale).\n",
+      exceeding * 100.0, census.max_non_tls_bytes);
+  bench::footnote_scale(cfg);
+  return 0;
+}

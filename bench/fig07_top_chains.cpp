@@ -1,0 +1,60 @@
+// Figure 7: the top-10 parent certificate chains for QUIC services (a)
+// and HTTPS-only services (b): per-chain parent sizes, median/max leaf
+// sizes and deployment shares.
+#include "common.hpp"
+#include "core/certificates.hpp"
+
+namespace {
+
+void print_panel(const char* title, const std::vector<certquic::core::chain_row>& rows,
+                 double coverage, const char* paper_coverage) {
+  using namespace certquic;
+  std::printf("\n%s\n", title);
+  text_table table({"#", "share", "parents [B]", "median leaf", "max leaf",
+                    "chain"});
+  int rank = 1;
+  for (const auto& row : rows) {
+    std::string parents;
+    std::size_t parent_total = 0;
+    for (const std::size_t size : row.parent_sizes) {
+      if (!parents.empty()) {
+        parents += " + ";
+      }
+      parents += std::to_string(size);
+      parent_total += size;
+    }
+    table.add_row({std::to_string(rank++), pct(row.share),
+                   parents + " = " + std::to_string(parent_total),
+                   std::to_string(row.median_leaf),
+                   std::to_string(row.max_leaf), row.display});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("top-10 coverage: %.1f%% (paper: %s)\n", coverage * 100.0,
+              paper_coverage);
+}
+
+}  // namespace
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 7", "top-10 certificate parent chains");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  const auto corpus =
+      core::analyze_corpus(model, {.max_services = bench::sample_cap(8000)});
+
+  print_panel("(a) QUIC services", corpus.quic_rows,
+              corpus.quic_top10_coverage, "96.5%");
+  print_panel("(b) HTTPS-only services", corpus.https_rows,
+              corpus.https_top10_coverage, "72%");
+
+  std::printf(
+      "\nPaper: 7 of 10 QUIC parent chains + median leaf exceed common "
+      "amplification limits\n(5 of 10 for HTTPS-only); the shortest "
+      "chains are Cloudflare's, and rows 2/3 carry the\ncross-signed "
+      "ISRG Root X1 although the self-signed variant is in trust "
+      "stores.\n");
+  bench::footnote_scale(cfg);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8: mean certificate field sizes for QUIC domains, split into
+// leaf/non-leaf certificates and small/large chains (threshold 4000 B).
+// Paper: non-leaf public key + signature dominate large chains.
+#include "common.hpp"
+#include "core/certificates.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 8", "mean certificate field sizes by type");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  const auto corpus =
+      core::analyze_corpus(model, {.max_services = bench::sample_cap(8000)});
+
+  static const char* kFields[] = {"Subject", "Issuer", "SPKI",
+                                  "Extensions", "Signature", "Other"};
+  text_table table({"chain class", "cert type", "Subject", "Issuer", "SPKI",
+                    "Extensions", "Signature", "Other", "sum"});
+  for (int size_class = 0; size_class < 2; ++size_class) {
+    for (int role = 0; role < 2; ++role) {
+      std::vector<std::string> row = {
+          size_class == 0 ? "<=4000 B" : "> 4000 B",
+          role == 0 ? "leaf" : "non-leaf"};
+      double total = 0.0;
+      for (int f = 0; f < 6; ++f) {
+        const double mean = corpus
+                                .field_means[static_cast<std::size_t>(
+                                    size_class)][static_cast<std::size_t>(
+                                    role)][static_cast<std::size_t>(f)]
+                                .mean();
+        total += mean;
+        row.push_back(fixed(mean, 0));
+      }
+      row.push_back(fixed(total, 0));
+      table.add_row(std::move(row));
+    }
+  }
+  (void)kFields;
+  std::printf("%s", table.render().c_str());
+
+  const double big_nonleaf_key_sig =
+      corpus.field_means[1][1][2].mean() + corpus.field_means[1][1][4].mean();
+  const double small_nonleaf_key_sig =
+      corpus.field_means[0][1][2].mean() + corpus.field_means[0][1][4].mean();
+  std::printf(
+      "\nPaper: for chains > 4000 B, non-leaf public key + signature "
+      "contribute the most bytes.\nMeasured non-leaf SPKI+signature mean: "
+      "%.0f B (large chains) vs %.0f B (small chains).\n",
+      big_nonleaf_key_sig, small_nonleaf_key_sig);
+  bench::footnote_scale(cfg);
+  return 0;
+}

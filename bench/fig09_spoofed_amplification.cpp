@@ -1,0 +1,63 @@
+// Figure 9 + §4.3 active scans: QUIC amplification factors when clients
+// never acknowledge (spoofed sources observed at a telescope), per
+// hypergiant, plus the Meta /24 single-Initial probe groups.
+#include "common.hpp"
+#include "core/amplification_study.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 9",
+                "amplification for unanswered handshakes (telescope + scans)");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+
+  core::spoofed_options opt;
+  opt.sessions_per_provider = bench::sample_cap(120);
+  const auto telescope = core::run_telescope_study(model, opt);
+
+  for (const auto& [provider, samples] : telescope.amplification) {
+    bench::print_cdf(provider.c_str(), samples, 11, 1);
+  }
+  std::printf(
+      "\nPaper: Cloudflare/Google mostly below 10x; Meta up to 45x. "
+      "Measured Meta max: %.1fx.\nMeta backscatter sessions: median %.0f s, "
+      "max %.0f s (paper: ~51 s / 206 s).\n",
+      telescope.meta_max_amplification,
+      telescope.meta_session_duration_s.empty()
+          ? 0.0
+          : telescope.meta_session_duration_s.median(),
+      telescope.meta_session_duration_s.empty()
+          ? 0.0
+          : telescope.meta_session_duration_s.max());
+
+  // §4.3 active confirmation: the three host groups of the Meta /24.
+  std::printf("\nActive /24 scan (single 1252-byte Initial, no ACKs):\n");
+  const auto rows = core::run_meta_scan(model, /*post_disclosure=*/false, 2);
+  std::size_t group1 = 0;
+  stats::sample_set group2;
+  stats::sample_set group3;
+  for (const auto& row : rows) {
+    if (!row.responded) {
+      ++group1;
+    } else if (row.amplification.mean() > 15.0) {
+      group3.add(static_cast<double>(row.bytes_received));
+    } else {
+      group2.add(static_cast<double>(row.bytes_received));
+    }
+  }
+  std::printf(
+      "  group 1: %zu hosts with no QUIC response (<=150 B)\n"
+      "  group 2: %zu hosts, ~%.0f B responses (~%.1fx) — facebook.com "
+      "front-ends\n"
+      "  group 3: %zu hosts, ~%.0f B responses (~%.1fx) — instagram/"
+      "whatsapp\n",
+      group1, group2.size(), group2.empty() ? 0.0 : group2.median(),
+      group2.empty() ? 0.0 : group2.median() / 1252.0, group3.size(),
+      group3.empty() ? 0.0 : group3.median(),
+      group3.empty() ? 0.0 : group3.median() / 1252.0);
+  std::printf(
+      "  (paper: no response / ~7 kB at >5x / ~35 kB at >28x)\n");
+  bench::footnote_scale(cfg);
+  return 0;
+}

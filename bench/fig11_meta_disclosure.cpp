@@ -1,0 +1,50 @@
+// Figure 11: mean amplification factors per host octet of the Meta /24
+// point-of-presence, before (a) and after (b) the responsible
+// disclosure. Paper: heterogeneous up to ~30x before; ~5x mean after.
+#include "common.hpp"
+#include "core/amplification_study.hpp"
+
+namespace {
+
+void print_panel(const char* title,
+                 const std::vector<certquic::core::meta_probe_row>& rows) {
+  using namespace certquic;
+  std::printf("\n%s\n", title);
+  std::printf("  %-6s %-12s %-8s %s\n", "octet", "ampl (CI95)", "dur [s]",
+              "services");
+  stats::summary responding;
+  for (const auto& row : rows) {
+    if (!row.responded) {
+      continue;
+    }
+    responding.add(row.amplification.mean());
+    std::printf("  %-6d %5.1f ±%4.1f  %-8.1f %s\n", row.host_octet,
+                row.amplification.mean(), row.amplification.ci95_half_width(),
+                row.duration_s, row.services.c_str());
+  }
+  std::printf("  -> mean over responding hosts: %.1fx (max %.1fx)\n",
+              responding.mean(), responding.max());
+}
+
+}  // namespace
+
+int main() {
+  using namespace certquic;
+  bench::header("Figure 11", "Meta /24 amplification before/after disclosure");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  const std::size_t repeats = bench::sample_cap(3);
+
+  print_panel("(a) before disclosure (August 2022)",
+              core::run_meta_scan(model, /*post_disclosure=*/false, repeats));
+  print_panel("(b) after disclosure (October 2022)",
+              core::run_meta_scan(model, /*post_disclosure=*/true, repeats));
+
+  std::printf(
+      "\nPaper: significant improvement after disclosure, but with a mean "
+      "amplification of ~5x\nthe responses still exceed the RFC 9000 "
+      "anti-amplification limit.\n");
+  bench::footnote_scale(cfg);
+  return 0;
+}

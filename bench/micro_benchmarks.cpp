@@ -1,0 +1,131 @@
+// google-benchmark micro-benchmarks for the library's hot paths:
+// DER encoding, LZ compression, QUIC packet (de)coding and full
+// simulated handshakes.
+#include <benchmark/benchmark.h>
+
+#include "ca/ecosystem.hpp"
+#include "compress/codec.hpp"
+#include "net/simulator.hpp"
+#include "quic/client.hpp"
+#include "quic/server.hpp"
+#include "quic/varint.hpp"
+#include "tls/handshake.hpp"
+
+namespace {
+
+using namespace certquic;
+
+void BM_VarintEncode(benchmark::State& state) {
+  rng r{1};
+  std::vector<std::uint64_t> values(1024);
+  for (auto& v : values) {
+    v = r.uniform(0, quic::kVarintMax);
+  }
+  for (auto _ : state) {
+    buffer_writer w;
+    for (const auto v : values) {
+      quic::write_varint(w, v);
+    }
+    benchmark::DoNotOptimize(w.view().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_CertificateIssue(benchmark::State& state) {
+  auto eco = ca::ecosystem::make();
+  const auto& profile = eco.profile("le-r3-x1cross");
+  rng r{2};
+  for (auto _ : state) {
+    const auto chain = eco.issue(profile, "bench.example", r);
+    benchmark::DoNotOptimize(chain.wire_size());
+  }
+}
+BENCHMARK(BM_CertificateIssue);
+
+void BM_LzCompressChain(benchmark::State& state) {
+  auto eco = ca::ecosystem::make();
+  rng r{3};
+  const auto chain = eco.issue(eco.profile("le-r3-x1cross"), "z.example", r);
+  const bytes payload = chain.concatenated_der();
+  const compress::codec codec{compress::algorithm::brotli,
+                              eco.compression_dictionary()};
+  for (auto _ : state) {
+    const bytes compressed = codec.compress(payload);
+    benchmark::DoNotOptimize(compressed.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_LzCompressChain);
+
+void BM_LzRoundTrip(benchmark::State& state) {
+  auto eco = ca::ecosystem::make();
+  rng r{4};
+  const auto chain = eco.issue(eco.profile("cloudflare"), "rt.example", r);
+  const bytes payload = chain.concatenated_der();
+  const compress::codec codec{compress::algorithm::zstd,
+                              eco.compression_dictionary()};
+  for (auto _ : state) {
+    const bytes compressed = codec.compress(payload);
+    const bytes restored = codec.decompress(compressed);
+    benchmark::DoNotOptimize(restored.size());
+  }
+}
+BENCHMARK(BM_LzRoundTrip);
+
+void BM_ServerFlightBuild(benchmark::State& state) {
+  auto eco = ca::ecosystem::make();
+  rng r{5};
+  const auto chain = eco.issue(eco.profile("sectigo"), "f.example", r);
+  for (auto _ : state) {
+    const auto flight = tls::build_server_flight(chain, nullptr, r);
+    benchmark::DoNotOptimize(flight.total_size());
+  }
+}
+BENCHMARK(BM_ServerFlightBuild);
+
+void BM_FullHandshake(benchmark::State& state) {
+  auto eco = ca::ecosystem::make();
+  rng r{6};
+  auto chain = eco.issue(eco.profile("cloudflare"), "hs.example", r);
+  const net::endpoint_id server_ep{net::ipv4::of(192, 0, 2, 9), 443};
+  const net::endpoint_id client_ep{net::ipv4::of(10, 0, 0, 9), 55555};
+  for (auto _ : state) {
+    net::simulator sim;
+    quic::server srv{sim, server_ep, chain,
+                     quic::server_behavior::cloudflare(), {}, 7};
+    quic::client cli{sim, client_ep, server_ep,
+                     {.initial_size = 1362}, 8};
+    cli.start();
+    sim.run();
+    benchmark::DoNotOptimize(cli.result().bytes_received_total);
+  }
+}
+BENCHMARK(BM_FullHandshake);
+
+void BM_DatagramParse(benchmark::State& state) {
+  rng r{9};
+  quic::packet p;
+  p.type = quic::packet_type::initial;
+  p.dcid.resize(8);
+  r.fill(p.dcid);
+  bytes crypto(900);
+  r.fill(crypto);
+  p.frames.push_back(quic::crypto_frame{0, crypto});
+  std::vector<quic::packet> dgram{p};
+  (void)quic::pad_datagram_to(dgram, 1200);
+  const bytes wire = quic::encode_datagram(dgram);
+  for (auto _ : state) {
+    const auto parsed = quic::parse_datagram(wire);
+    benchmark::DoNotOptimize(parsed.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DatagramParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

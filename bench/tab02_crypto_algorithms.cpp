@@ -1,0 +1,45 @@
+// Table 2: relative ratio of crypto algorithms and key lengths in use,
+// for leaf and non-leaf certificates of QUIC vs HTTPS-only services.
+// Paper: HTTPS-only depends heavily on RSA.
+#include "common.hpp"
+#include "core/certificates.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("Table 2", "crypto algorithms and key lengths in use");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  const auto corpus =
+      core::analyze_corpus(model, {.max_services = bench::sample_cap(8000)});
+
+  text_table table({"Service", "Certificate", "RSA-2048", "RSA-4096",
+                    "ECDSA-256", "ECDSA-384"});
+  static const char* kSides[] = {"QUIC", "HTTPS-only"};
+  static const char* kRoles[] = {"Leaf", "Non-leaf"};
+  for (int side = 0; side < 2; ++side) {
+    for (int role = 1; role >= 0; --role) {  // paper lists non-leaf first
+      const auto& counts =
+          corpus.alg_counts[static_cast<std::size_t>(side)]
+                           [static_cast<std::size_t>(role == 0 ? 0 : 1)];
+      std::size_t total = 0;
+      for (const auto count : counts) {
+        total += count;
+      }
+      std::vector<std::string> row = {kSides[side], kRoles[role == 0 ? 0 : 1]};
+      for (const auto count : counts) {
+        row.push_back(total == 0 ? "-"
+                                 : pct(static_cast<double>(count) /
+                                       static_cast<double>(total), 1));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nPaper (QUIC non-leaf): 15.1 / 22.4 / 40.4 / 22.1 %%; (HTTPS-only "
+      "leaf): 81.4 / 8.1 / 7.8 / 1.9 %%.\nPaper: certificates delivered "
+      "by QUIC servers use more efficient crypto algorithms.\n");
+  bench::footnote_scale(cfg);
+  return 0;
+}

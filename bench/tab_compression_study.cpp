@@ -1,0 +1,38 @@
+// §4.2 "Compression helps": synthetic compression of collected chains
+// and in-the-wild rates. Paper: median synthetic rate ~65%; 99% of
+// compressed chains fit under 3x1357; wild mean 73%.
+#include "common.hpp"
+#include "core/compression_study.hpp"
+
+int main() {
+  using namespace certquic;
+  bench::header("§4.2", "certificate compression study");
+
+  const auto cfg = bench::population_config();
+  const auto model = internet::model::generate(cfg);
+  core::compression_options opt;
+  opt.max_chains = bench::sample_cap(1500);
+  opt.max_probes = bench::sample_cap(400);
+  const auto study = core::run_compression_study(model, opt);
+
+  bench::print_cdf("brotli savings on collected chains",
+                   study.synthetic_savings[0], 11, 3);
+
+  std::printf("\n%-44s %10s %10s\n", "", "paper", "measured");
+  std::printf("%-44s %10s %9.1f%%\n", "median synthetic compression rate",
+              "~65%", study.synthetic_savings[0].median() * 100.0);
+  std::printf("%-44s %10s %9.1f%%\n",
+              "chains under 3x1357 after compression", "99%",
+              study.under_limit_compressed * 100.0);
+  std::printf("%-44s %10s %9.1f%%\n",
+              "chains under 3x1357 uncompressed", "-",
+              study.under_limit_uncompressed * 100.0);
+  std::printf("%-44s %10s %9.1f%%\n", "mean in-the-wild compression rate",
+              "73%", study.wild_savings.mean() * 100.0);
+  std::printf(
+      "\nPaper: compression keeps 99%% of chains below the amplification "
+      "limit, preventing\nmulti-RTT handshakes — but OpenSSL lacks "
+      "certificate compression, so deployment lags.\n");
+  bench::footnote_scale(cfg);
+  return 0;
+}

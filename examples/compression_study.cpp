@@ -1,0 +1,53 @@
+// RFC 8879 certificate compression, hands on: take one real chain, run
+// it through all three algorithm presets against the shared dictionary,
+// and check the anti-amplification arithmetic before and after.
+#include <cstdio>
+
+#include "ca/ecosystem.hpp"
+#include "compress/codec.hpp"
+#include "tls/handshake.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace certquic;
+
+  auto eco = ca::ecosystem::make();
+  const bytes dictionary = eco.compression_dictionary();
+  rng r{2022};
+
+  for (const char* profile_id : {"cloudflare", "le-r3-x1cross", "cpanel"}) {
+    const auto& profile = eco.profile(profile_id);
+    const auto chain = eco.issue(profile, "shop.example.org", r);
+    const bytes cert_msg = tls::encode_certificate(chain);
+
+    std::printf("== %s ==\n", profile.display.c_str());
+    std::printf("chain: %zu certificates, %zu bytes DER; Certificate "
+                "message: %zu bytes\n",
+                chain.depth(), chain.wire_size(), cert_msg.size());
+
+    text_table table({"algorithm", "compressed", "rate", "fits 3x1357?",
+                      "lossless"});
+    for (const auto alg :
+         {compress::algorithm::brotli, compress::algorithm::zlib,
+          compress::algorithm::zstd}) {
+      const compress::codec codec{alg, dictionary};
+      const bytes compressed = codec.compress(cert_msg);
+      const bool lossless = codec.decompress(compressed) == cert_msg;
+      table.add_row({compress::to_string(alg),
+                     std::to_string(compressed.size()) + " B",
+                     pct(1.0 - static_cast<double>(compressed.size()) /
+                                   static_cast<double>(cert_msg.size()),
+                         1),
+                     compressed.size() <= 3 * 1357 ? "yes" : "NO",
+                     lossless ? "yes" : "NO"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("uncompressed fits the common 3x1357 limit: %s\n\n",
+                cert_msg.size() <= 3 * 1357 ? "yes" : "NO");
+  }
+  std::printf(
+      "Paper §4.2: compression keeps 99%% of chains under the limit and "
+      "would prevent\nmulti-RTT handshakes; only servers+clients that "
+      "both support it benefit.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The §5 client-side mitigation: cache each server's observed flight
+// size and pick the next visit's Initial size so the server's reply
+// fits within 3x — no certificate compression required.
+//
+// The demo also shows the mitigation's honest limits: servers that burn
+// their budget on padding, or serve chains beyond 3x1472, stay
+// multi-RTT no matter what the client does.
+#include <cstdio>
+
+#include "core/tuner.hpp"
+#include "scan/reach.hpp"
+
+int main() {
+  using namespace certquic;
+
+  const auto model = internet::model::generate({.domains = 20000, .seed = 42});
+
+  // Show the mechanism on one borderline (lean, small-chain) service.
+  scan::reach prober{model};
+  core::initial_size_tuner tuner;
+  for (const auto& rec : model.records()) {
+    if (!rec.serves_quic() ||
+        rec.behavior != internet::behavior_kind::standard_lean ||
+        rec.chain_profile != "le-e1-x2") {
+      continue;
+    }
+    const auto first = prober.probe(
+        rec, {.initial_size = core::initial_size_tuner::kMinInitial});
+    tuner.record(rec.domain, first.obs.bytes_received_total);
+    const std::size_t tuned = tuner.recommend(rec.domain);
+    const auto second = prober.probe(rec, {.initial_size = tuned});
+    std::printf("service %s (chain %s):\n", rec.domain.c_str(),
+                rec.chain_profile.c_str());
+    std::printf("  visit 1: Initial=%zu -> %s (server flight %zu bytes)\n",
+                core::initial_size_tuner::kMinInitial,
+                scan::to_string(first.cls).c_str(),
+                first.obs.bytes_received_total);
+    std::printf("  visit 2: Initial=%zu -> %s\n", tuned,
+                scan::to_string(second.cls).c_str());
+    break;
+  }
+
+  // Population-level effect.
+  const auto study = core::run_tuner_study(model, 800);
+  std::printf(
+      "\npopulation study over %zu QUIC services:\n"
+      "  multi-RTT with %zu-byte Initials : %zu\n"
+      "  multi-RTT with tuned Initials    : %zu\n"
+      "  converted to 1-RTT               : %zu\n",
+      study.services, core::initial_size_tuner::kMinInitial,
+      study.multi_rtt_default, study.multi_rtt_tuned,
+      study.converted_to_one_rtt);
+  std::printf(
+      "\nOnly services whose full flight fits into 3x1472 bytes can be "
+      "rescued; for everyone else\nthe paper's other remedies apply: "
+      "certificate compression, smaller (ECDSA) chains, and\nserver-side "
+      "packet coalescing.\n");
+  return 0;
+}

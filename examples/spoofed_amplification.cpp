@@ -1,0 +1,53 @@
+// Adversary imitation (§4.3): spoof a victim's address towards
+// hypergiant QUIC servers, watch the victim's telescope fill up with
+// amplified backscatter, then actively confirm with single-Initial
+// probes against the Meta /24.
+#include <cstdio>
+
+#include "core/amplification_study.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace certquic;
+
+  const auto model = internet::model::generate({.domains = 3000, .seed = 42});
+
+  std::printf("== telescope backscatter (spoofed sources, §4.3) ==\n");
+  const auto telescope =
+      core::run_telescope_study(model, {.sessions_per_provider = 80});
+  text_table table({"provider", "sessions", "median", "p90", "max"});
+  for (const auto& [provider, samples] : telescope.amplification) {
+    table.add_row({provider, std::to_string(samples.size()),
+                   fixed(samples.median(), 1) + "x",
+                   fixed(samples.quantile(0.9), 1) + "x",
+                   fixed(samples.max(), 1) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nEvery provider exceeds the 3x limit via resends; Meta reaches "
+      "%.1fx (paper: up to 45x).\nMeta session durations: median %.0f s, "
+      "max %.0f s (paper: ~51 s / 206 s) — short sessions,\nso the "
+      "factors are not biased by reused connection ids.\n\n",
+      telescope.meta_max_amplification,
+      telescope.meta_session_duration_s.median(),
+      telescope.meta_session_duration_s.max());
+
+  std::printf("== active confirmation: Meta /24, one 1252-byte Initial ==\n");
+  const auto rows = core::run_meta_scan(model, /*post_disclosure=*/false, 2);
+  std::printf("  %-6s %-10s %-6s %s\n", "octet", "bytes", "ampl", "services");
+  for (const auto& row : rows) {
+    if (row.host_octet % 10 != 0 && row.host_octet != 35 &&
+        row.host_octet != 36 && row.host_octet != 63) {
+      continue;  // print a readable subset
+    }
+    std::printf("  %-6d %-10zu %-5.1fx %s\n", row.host_octet,
+                row.bytes_received,
+                row.responded ? row.amplification.mean() : 0.0,
+                row.services.c_str());
+  }
+  std::printf(
+      "\nThe *.35/*.36 facebook group answers with ~7 kB (>5x); the "
+      "*.60/*.63 instagram/whatsapp\ngroup with ~35 kB (>28x) — factors "
+      "similar to classic UDP amplification protocols.\n");
+  return 0;
+}

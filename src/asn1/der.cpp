@@ -1,0 +1,264 @@
+#include "asn1/der.hpp"
+
+#include "util/errors.hpp"
+
+namespace certquic::asn1 {
+namespace {
+
+bytes concat(std::initializer_list<bytes_view> elements) {
+  bytes out;
+  std::size_t total = 0;
+  for (const auto& e : elements) {
+    total += e.size();
+  }
+  out.reserve(total);
+  for (const auto& e : elements) {
+    append(out, e);
+  }
+  return out;
+}
+
+bytes encode_string(tag t, std::string_view s) {
+  return wrap(t, bytes_view{reinterpret_cast<const std::uint8_t*>(s.data()),
+                            s.size()});
+}
+
+}  // namespace
+
+bytes encode_header(std::uint8_t tag_byte, std::size_t length) {
+  bytes out;
+  out.push_back(tag_byte);
+  if (length < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(length));
+    return out;
+  }
+  // Long form: minimal number of length octets (DER requirement).
+  bytes len_octets;
+  std::size_t v = length;
+  while (v > 0) {
+    len_octets.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | len_octets.size()));
+  out.insert(out.end(), len_octets.rbegin(), len_octets.rend());
+  return out;
+}
+
+bytes wrap(std::uint8_t tag_byte, bytes_view content) {
+  bytes out = encode_header(tag_byte, content.size());
+  append(out, content);
+  return out;
+}
+
+bytes wrap(tag t, bytes_view content) {
+  return wrap(static_cast<std::uint8_t>(t), content);
+}
+
+bytes sequence(std::initializer_list<bytes_view> elements) {
+  return wrap(tag::sequence, concat(elements));
+}
+
+bytes sequence(const std::vector<bytes>& elements) {
+  bytes content;
+  for (const auto& e : elements) {
+    append(content, e);
+  }
+  return wrap(tag::sequence, content);
+}
+
+bytes set(std::initializer_list<bytes_view> elements) {
+  return wrap(tag::set, concat(elements));
+}
+
+bytes context(unsigned n, bytes_view content, bool constructed) {
+  if (n > 30) {
+    throw codec_error("context tag > 30 not supported");
+  }
+  const auto tag_byte = static_cast<std::uint8_t>(
+      0x80 | (constructed ? 0x20 : 0x00) | n);
+  return wrap(tag_byte, content);
+}
+
+bytes encode_integer(std::int64_t v) {
+  // Build the minimal two's-complement representation.
+  bytes content;
+  bool more = true;
+  while (more) {
+    const auto octet = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+    content.insert(content.begin(), octet);
+    const bool sign_bit = (octet & 0x80) != 0;
+    more = !((v == 0 && !sign_bit) || (v == -1 && sign_bit));
+  }
+  return wrap(tag::integer, content);
+}
+
+bytes encode_big_integer(bytes_view magnitude) {
+  std::size_t start = 0;
+  while (start + 1 < magnitude.size() && magnitude[start] == 0) {
+    ++start;
+  }
+  bytes content;
+  if (magnitude.empty()) {
+    content.push_back(0);
+  } else {
+    if (magnitude[start] & 0x80) {
+      content.push_back(0);  // keep the value positive
+    }
+    content.insert(content.end(), magnitude.begin() + static_cast<long>(start),
+                   magnitude.end());
+  }
+  return wrap(tag::integer, content);
+}
+
+bytes encode_oid(const oid& arcs) {
+  if (arcs.size() < 2) {
+    throw codec_error("OID needs at least two arcs");
+  }
+  if (arcs[0] > 2 || (arcs[0] < 2 && arcs[1] >= 40)) {
+    throw codec_error("invalid OID root arcs");
+  }
+  bytes content;
+  auto push_base128 = [&content](std::uint32_t v) {
+    std::uint8_t chunks[5];
+    int n = 0;
+    do {
+      chunks[n++] = static_cast<std::uint8_t>(v & 0x7f);
+      v >>= 7;
+    } while (v > 0);
+    for (int i = n - 1; i > 0; --i) {
+      content.push_back(static_cast<std::uint8_t>(chunks[i] | 0x80));
+    }
+    content.push_back(chunks[0]);
+  };
+  push_base128(arcs[0] * 40 + arcs[1]);
+  for (std::size_t i = 2; i < arcs.size(); ++i) {
+    push_base128(arcs[i]);
+  }
+  return wrap(tag::object_identifier, content);
+}
+
+bytes encode_bit_string(bytes_view data, std::uint8_t unused_bits) {
+  if (unused_bits > 7) {
+    throw codec_error("bit string unused_bits > 7");
+  }
+  bytes content;
+  content.reserve(data.size() + 1);
+  content.push_back(unused_bits);
+  append(content, data);
+  return wrap(tag::bit_string, content);
+}
+
+bytes encode_octet_string(bytes_view data) {
+  return wrap(tag::octet_string, data);
+}
+
+bytes encode_boolean(bool v) {
+  const std::uint8_t octet = v ? 0xff : 0x00;
+  return wrap(tag::boolean, bytes_view{&octet, 1});
+}
+
+bytes encode_null() { return wrap(tag::null_value, bytes_view{}); }
+
+bytes encode_printable_string(std::string_view s) {
+  return encode_string(tag::printable_string, s);
+}
+
+bytes encode_utf8_string(std::string_view s) {
+  return encode_string(tag::utf8_string, s);
+}
+
+bytes encode_ia5_string(std::string_view s) {
+  return encode_string(tag::ia5_string, s);
+}
+
+bytes encode_utc_time(std::string_view s) {
+  if (s.size() != 13 || s.back() != 'Z') {
+    throw codec_error("UTCTime must be YYMMDDHHMMSSZ");
+  }
+  return encode_string(tag::utc_time, s);
+}
+
+tlv read_tlv(buffer_reader& r) {
+  tlv out;
+  out.tag_byte = r.u8();
+  const std::uint8_t first_len = r.u8();
+  std::size_t length = 0;
+  if (first_len < 0x80) {
+    length = first_len;
+  } else if (first_len == 0x80) {
+    throw codec_error("indefinite length is not valid DER");
+  } else {
+    const int n_octets = first_len & 0x7f;
+    if (n_octets > 8) {
+      throw codec_error("length too large");
+    }
+    for (int i = 0; i < n_octets; ++i) {
+      length = (length << 8) | r.u8();
+    }
+  }
+  out.content = r.raw(length);
+  return out;
+}
+
+std::vector<tlv> children(const tlv& parent) {
+  std::vector<tlv> out;
+  buffer_reader r{parent.content};
+  while (!r.empty()) {
+    out.push_back(read_tlv(r));
+  }
+  return out;
+}
+
+std::int64_t decode_integer(const tlv& t) {
+  if (!t.is(tag::integer)) {
+    throw codec_error("not an INTEGER");
+  }
+  if (t.content.empty() || t.content.size() > 8) {
+    throw codec_error("INTEGER does not fit in 64 bits");
+  }
+  std::int64_t v = (t.content[0] & 0x80) ? -1 : 0;
+  for (const std::uint8_t b : t.content) {
+    v = (v << 8) | b;
+  }
+  return v;
+}
+
+oid decode_oid(const tlv& t) {
+  if (!t.is(tag::object_identifier)) {
+    throw codec_error("not an OID");
+  }
+  oid arcs;
+  std::size_t i = 0;
+  auto read_base128 = [&]() -> std::uint32_t {
+    std::uint32_t v = 0;
+    while (i < t.content.size()) {
+      const std::uint8_t b = t.content[i++];
+      v = (v << 7) | (b & 0x7f);
+      if (!(b & 0x80)) {
+        return v;
+      }
+    }
+    throw codec_error("truncated OID arc");
+  };
+  if (t.content.empty()) {
+    throw codec_error("empty OID");
+  }
+  const std::uint32_t first = read_base128();
+  if (first < 40) {
+    arcs.push_back(0);
+    arcs.push_back(first);
+  } else if (first < 80) {
+    arcs.push_back(1);
+    arcs.push_back(first - 40);
+  } else {
+    arcs.push_back(2);
+    arcs.push_back(first - 80);
+  }
+  while (i < t.content.size()) {
+    arcs.push_back(read_base128());
+  }
+  return arcs;
+}
+
+}  // namespace certquic::asn1

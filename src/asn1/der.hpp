@@ -1,0 +1,112 @@
+// DER (Distinguished Encoding Rules) encoder/decoder subset.
+//
+// Implements exactly the ASN.1 universe needed by X.509v3 certificates:
+// definite-length TLV framing, INTEGER (small and big), OBJECT IDENTIFIER
+// with base-128 arcs, BIT/OCTET STRING, BOOLEAN, NULL, the string types
+// used in distinguished names, UTCTime and SEQUENCE/SET/context tags.
+//
+// Faithful DER byte layout is what makes the certificate-size analysis in
+// this reproduction meaningful: every certificate in the corpus is a real
+// DER byte string whose length reacts to names, keys and extensions the
+// same way real certificates do.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/bytes.hpp"
+
+namespace certquic::asn1 {
+
+/// Universal class tag numbers used by X.509.
+enum class tag : std::uint8_t {
+  boolean = 0x01,
+  integer = 0x02,
+  bit_string = 0x03,
+  octet_string = 0x04,
+  null_value = 0x05,
+  object_identifier = 0x06,
+  utf8_string = 0x0c,
+  printable_string = 0x13,
+  ia5_string = 0x16,
+  utc_time = 0x17,
+  generalized_time = 0x18,
+  sequence = 0x30,  // constructed
+  set = 0x31,       // constructed
+};
+
+/// Object identifier as a list of arcs, e.g. {2, 5, 4, 3} for id-at-cn.
+using oid = std::vector<std::uint32_t>;
+
+/// Encodes the definite-length header for `length` content bytes.
+[[nodiscard]] bytes encode_header(std::uint8_t tag_byte, std::size_t length);
+
+/// Wraps `content` in a TLV with the given tag byte.
+[[nodiscard]] bytes wrap(std::uint8_t tag_byte, bytes_view content);
+[[nodiscard]] bytes wrap(tag t, bytes_view content);
+
+/// SEQUENCE of pre-encoded elements (concatenated, then wrapped).
+[[nodiscard]] bytes sequence(std::initializer_list<bytes_view> elements);
+[[nodiscard]] bytes sequence(const std::vector<bytes>& elements);
+
+/// SET OF pre-encoded elements.
+[[nodiscard]] bytes set(std::initializer_list<bytes_view> elements);
+
+/// Context-specific tag [n]; constructed if `constructed`.
+[[nodiscard]] bytes context(unsigned n, bytes_view content,
+                            bool constructed = true);
+
+/// INTEGER from a signed machine integer (two's-complement minimal form).
+[[nodiscard]] bytes encode_integer(std::int64_t v);
+
+/// INTEGER from an unsigned big-endian magnitude (e.g. serial numbers,
+/// RSA moduli). Prepends 0x00 when the leading bit is set so the value
+/// stays positive; strips redundant leading zero octets.
+[[nodiscard]] bytes encode_big_integer(bytes_view magnitude);
+
+/// OBJECT IDENTIFIER with standard arc packing. Throws codec_error on
+/// fewer than two arcs or first-arc constraints violated.
+[[nodiscard]] bytes encode_oid(const oid& arcs);
+
+/// BIT STRING with `unused_bits` trailing unused bits (0 for X.509 keys
+/// and signatures).
+[[nodiscard]] bytes encode_bit_string(bytes_view data,
+                                      std::uint8_t unused_bits = 0);
+
+[[nodiscard]] bytes encode_octet_string(bytes_view data);
+[[nodiscard]] bytes encode_boolean(bool v);
+[[nodiscard]] bytes encode_null();
+[[nodiscard]] bytes encode_printable_string(std::string_view s);
+[[nodiscard]] bytes encode_utf8_string(std::string_view s);
+[[nodiscard]] bytes encode_ia5_string(std::string_view s);
+/// UTCTime, `s` must be "YYMMDDHHMMSSZ" (13 chars).
+[[nodiscard]] bytes encode_utc_time(std::string_view s);
+
+/// A decoded TLV element; `content` views into the reader's buffer.
+struct tlv {
+  std::uint8_t tag_byte = 0;
+  bytes_view content;
+
+  [[nodiscard]] bool is(tag t) const noexcept {
+    return tag_byte == static_cast<std::uint8_t>(t);
+  }
+};
+
+/// Reads one TLV from `r`. Throws codec_error on truncated or
+/// indefinite-length input (DER forbids indefinite lengths).
+[[nodiscard]] tlv read_tlv(buffer_reader& r);
+
+/// Splits a constructed element's content into its child TLVs.
+[[nodiscard]] std::vector<tlv> children(const tlv& parent);
+
+/// Decodes an INTEGER TLV content into a signed machine integer.
+/// Throws codec_error if it does not fit in 64 bits.
+[[nodiscard]] std::int64_t decode_integer(const tlv& t);
+
+/// Decodes an OBJECT IDENTIFIER TLV back into arcs.
+[[nodiscard]] oid decode_oid(const tlv& t);
+
+}  // namespace certquic::asn1

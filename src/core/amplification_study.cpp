@@ -1,0 +1,138 @@
+#include "core/amplification_study.hpp"
+
+#include "net/simulator.hpp"
+#include "quic/client.hpp"
+#include "quic/server.hpp"
+#include "scan/telescope.hpp"
+#include "scan/zmap.hpp"
+
+namespace certquic::core {
+namespace {
+
+/// The hypergiant server fleets observed at the telescope.
+struct provider_fleet {
+  std::string name;
+  net::ipv4 prefix;
+};
+
+}  // namespace
+
+telescope_result run_telescope_study(const internet::model& m,
+                                     const spoofed_options& opt) {
+  telescope_result out;
+  net::simulator sim{0x7e1e'5c0e};
+  scan::telescope scope{sim, net::ipv4::of(203, 0, 113, 0)};
+
+  const provider_fleet fleets[] = {
+      {"Cloudflare", net::ipv4::of(104, 16, 1, 0)},
+      {"Google", net::ipv4::of(142, 250, 64, 0)},
+      {"Meta", net::ipv4::of(157, 240, 229, 0)},
+  };
+  for (const auto& fleet : fleets) {
+    scope.map_prefix(fleet.prefix, fleet.name);
+  }
+
+  rng r{0xa77ac};
+  std::vector<std::unique_ptr<quic::server>> servers;
+  std::vector<std::unique_ptr<quic::client>> attackers;
+
+  // Cloudflare & Google fleets: one server per session (distinct hosts).
+  auto spawn = [&](const provider_fleet& fleet, x509::chain chain,
+                   const quic::server_behavior& behavior,
+                   const std::string& sni, std::size_t index) {
+    const net::endpoint_id server_ep{
+        net::ipv4{fleet.prefix.value |
+                  static_cast<std::uint32_t>(1 + index % 200)},
+        443};
+    if (index < 200) {  // servers are reused across sessions beyond that
+      servers.push_back(std::make_unique<quic::server>(
+          sim, server_ep, std::move(chain), behavior,
+          m.compression_dictionary(), r.next()));
+    }
+    quic::client_config config;
+    config.initial_size = opt.assumed_initial;
+    config.send_acks = false;
+    config.sni = sni;
+    config.timeout = net::seconds(400);
+    config.spoof_source = scope.allocate_sensor();
+    const net::endpoint_id attacker_ep{net::ipv4::of(10, 66, 0, 1),
+                                       static_cast<std::uint16_t>(
+                                           10000 + attackers.size())};
+    attackers.push_back(std::make_unique<quic::client>(
+        sim, attacker_ep, server_ep, std::move(config), r.next()));
+    attackers.back()->start();
+  };
+
+  const auto& eco = m.ecosystem();
+  for (std::size_t i = 0; i < opt.sessions_per_provider; ++i) {
+    rng issue{r.next()};
+    spawn(fleets[0],
+          eco.issue(eco.profile("cloudflare"),
+                    "cf-" + std::to_string(i) + ".example", issue),
+          quic::server_behavior::cloudflare(), "site.example", i);
+    spawn(fleets[1],
+          eco.issue(eco.profile("gts-1c3"),
+                    "g-" + std::to_string(i) + ".example", issue),
+          quic::server_behavior::google(), "google.example", i);
+    const auto pop = m.meta_pop(/*post_disclosure=*/false);
+    // Backscatter at real telescopes is dominated by the heavily
+    // retransmitting instagram/whatsapp infrastructure (§4.3: median
+    // session ~51 s); bias the attacked hosts accordingly.
+    std::vector<const internet::meta_host*> deep;
+    std::vector<const internet::meta_host*> shallow;
+    for (const auto& host : pop) {
+      if (!host.serves_quic) {
+        continue;
+      }
+      (host.retransmissions >= 5 ? deep : shallow).push_back(&host);
+    }
+    const bool pick_deep = !deep.empty() && (i % 4 != 0 || shallow.empty());
+    const auto& pool = pick_deep ? deep : shallow;
+    const internet::meta_host& host = *pool[i % pool.size()];
+    spawn(fleets[2], m.meta_chain(host), m.meta_behavior(host), host.sni, i);
+  }
+  sim.run();
+
+  for (const auto& session : scope.sessions()) {
+    const double factor = static_cast<double>(session.bytes) /
+                          static_cast<double>(opt.assumed_initial);
+    out.amplification[session.provider].add(factor);
+    if (session.provider == "Meta") {
+      out.meta_session_duration_s.add(net::to_seconds(session.duration()));
+      out.meta_max_amplification =
+          std::max(out.meta_max_amplification, factor);
+    }
+  }
+  return out;
+}
+
+std::vector<meta_probe_row> run_meta_scan(const internet::model& m,
+                                          bool post_disclosure,
+                                          std::size_t repeats) {
+  std::vector<meta_probe_row> rows;
+  const auto pop = m.meta_pop(post_disclosure);
+  rows.reserve(pop.size());
+  for (const auto& host : pop) {
+    meta_probe_row row;
+    row.host_octet = host.address.host_octet();
+    row.services = host.services;
+    if (!host.serves_quic) {
+      rows.push_back(std::move(row));
+      continue;
+    }
+    for (std::size_t k = 0; k < repeats; ++k) {
+      // §4.3: single 1252-byte Initial, no ACK.
+      const scan::zmap_result probe =
+          scan::zmap_probe(m.meta_chain(host), m.meta_behavior(host), 1252,
+                           net::seconds(400), host.seed + k);
+      row.responded |= probe.responded;
+      row.bytes_received = probe.bytes_received;
+      row.amplification.add(probe.amplification);
+      row.duration_s = net::to_seconds(probe.backscatter_duration);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,48 @@
+// Spoofed-handshake amplification studies (§4.3): telescope backscatter
+// per hypergiant (Fig. 9) and the active Meta /24 scans (Fig. 11).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "internet/model.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace certquic::core {
+
+struct spoofed_options {
+  /// Spoofed sessions per provider fed to the telescope.
+  std::size_t sessions_per_provider = 120;
+  /// Assumed client Initial for the amplification divisor (the paper
+  /// divides telescope bytes by 1362).
+  std::size_t assumed_initial = 1362;
+};
+
+/// Telescope study output (Fig. 9).
+struct telescope_result {
+  std::map<std::string, stats::sample_set> amplification;  // per provider
+  stats::sample_set meta_session_duration_s;
+  double meta_max_amplification = 0.0;
+};
+
+[[nodiscard]] telescope_result run_telescope_study(
+    const internet::model& m, const spoofed_options& opt);
+
+/// One row of the Meta /24 active scan (Fig. 11, §4.3 groups).
+struct meta_probe_row {
+  int host_octet = 0;
+  std::string services;
+  bool responded = false;
+  std::size_t bytes_received = 0;
+  stats::summary amplification;  // across repeats, with CI
+  double duration_s = 0.0;
+};
+
+/// Active single-Initial scan of every host in the Meta PoP /24
+/// (1252-byte Initial, no ACKs — §4.3).
+[[nodiscard]] std::vector<meta_probe_row> run_meta_scan(
+    const internet::model& m, bool post_disclosure, std::size_t repeats = 3);
+
+}  // namespace certquic::core

@@ -1,0 +1,17 @@
+#include "core/browsers.hpp"
+
+namespace certquic::core {
+
+const std::vector<browser_profile>& browser_profiles() {
+  static const std::vector<browser_profile> profiles = {
+      {"Firefox", "101.x", 1357, {}},
+      {"Chromium-based", "105.x", 1250, {compress::algorithm::brotli}},
+      {"Safari (macOS)",
+       "15.5",
+       std::nullopt,
+       {compress::algorithm::zlib, compress::algorithm::zstd}},
+  };
+  return profiles;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,27 @@
+// Browser client profiles (Table 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace certquic::core {
+
+/// One row of Table 1.
+struct browser_profile {
+  std::string name;
+  std::string version;
+  /// Initial datagram size; nullopt for browsers without QUIC support.
+  std::optional<std::size_t> initial_size;
+  /// Certificate-compression algorithms offered (TLS 1.3).
+  std::vector<compress::algorithm> compression;
+};
+
+/// The browsers the paper tabulates: Firefox (1357, none),
+/// Chromium-family (1250, brotli; recently reduced from 1350),
+/// Safari (no QUIC; zlib + zstd over TCP).
+[[nodiscard]] const std::vector<browser_profile>& browser_profiles();
+
+}  // namespace certquic::core

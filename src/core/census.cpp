@@ -1,0 +1,84 @@
+#include "core/census.hpp"
+
+#include "scan/reach.hpp"
+
+namespace certquic::core {
+
+std::vector<std::size_t> initial_size_sweep() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 1200; s + 10 <= 1472; s += 10) {
+    sizes.push_back(s);
+  }
+  sizes.push_back(1472);
+  return sizes;
+}
+
+census_result run_census(const internet::model& m,
+                         const census_options& opt) {
+  census_result out;
+  out.initial_size = opt.initial_size;
+
+  scan::reach prober{m};
+  scan::probe_options popt;
+  popt.initial_size = opt.initial_size;
+
+  // Deterministic striding sample when capped.
+  std::size_t quic_total = 0;
+  for (const auto& rec : m.records()) {
+    quic_total += rec.serves_quic() ? 1 : 0;
+  }
+  const std::size_t stride =
+      opt.max_services == 0 || quic_total <= opt.max_services
+          ? 1
+          : (quic_total + opt.max_services - 1) / opt.max_services;
+
+  std::size_t quic_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_quic()) {
+      continue;
+    }
+    if (quic_index++ % stride != 0) {
+      continue;
+    }
+    const scan::probe_result probe = prober.probe(rec, popt);
+    ++out.probed;
+    const auto cls_idx = static_cast<std::size_t>(probe.cls);
+    ++out.counts[cls_idx];
+    ++out.group_counts[m.rank_group(rec)][cls_idx];
+
+    if (!opt.collect_payload_details) {
+      continue;
+    }
+    const quic::observation& obs = probe.obs;
+    if (obs.handshake_complete) {
+      out.first_burst_amplification.add(obs.first_burst_amplification());
+    }
+    switch (probe.cls) {
+      case scan::handshake_class::multi_rtt: {
+        out.multi_rtt_payload.emplace_back(obs.bytes_received_total,
+                                           obs.tls_bytes_received);
+        if (obs.tls_bytes_received > 3 * obs.bytes_sent_first_flight) {
+          ++out.multi_tls_exceeding_limit;
+        }
+        const std::size_t non_tls =
+            obs.bytes_received_total - obs.tls_bytes_received;
+        out.max_non_tls_bytes = std::max(out.max_non_tls_bytes, non_tls);
+        break;
+      }
+      case scan::handshake_class::amplification: {
+        ++out.amplifying;
+        if (rec.behavior == internet::behavior_kind::cloudflare) {
+          ++out.amplifying_cloudflare;
+          out.cloudflare_padding.add(
+              static_cast<double>(obs.padding_bytes_first_burst));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,75 @@
+// Handshake census: probes every QUIC service and aggregates the data
+// behind Figures 3, 4, 5 and 13.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "internet/model.hpp"
+#include "scan/classify.hpp"
+#include "stats/cdf.hpp"
+
+namespace certquic::core {
+
+/// Number of handshake classes (indexable by handshake_class).
+inline constexpr std::size_t kClassCount = 5;
+
+/// Census parameters.
+struct census_options {
+  std::size_t initial_size = 1362;
+  /// 0 = probe every QUIC service; otherwise a deterministic sample.
+  std::size_t max_services = 0;
+  /// Collect the per-probe payload details (Figs. 4/5); skip to speed
+  /// up pure classification sweeps (Fig. 3).
+  bool collect_payload_details = true;
+};
+
+/// Census output.
+struct census_result {
+  std::size_t initial_size = 0;
+  std::size_t probed = 0;
+
+  /// Counts by handshake class.
+  std::array<std::size_t, kClassCount> counts{};
+  /// Counts by rank group x class (Fig. 13).
+  std::array<std::array<std::size_t, kClassCount>,
+             internet::model::kRankGroups>
+      group_counts{};
+
+  /// First-burst amplification factors of completing handshakes
+  /// (Fig. 4).
+  stats::sample_set first_burst_amplification;
+
+  /// Per multi-RTT handshake: (total received, TLS-only received)
+  /// during the whole handshake (Fig. 5).
+  std::vector<std::pair<std::size_t, std::size_t>> multi_rtt_payload;
+  std::size_t multi_tls_exceeding_limit = 0;
+  std::size_t max_non_tls_bytes = 0;  // "remaining QUIC bytes" maximum
+
+  /// Amplification attribution (§4.1).
+  std::size_t amplifying = 0;
+  std::size_t amplifying_cloudflare = 0;
+  /// Padding observed on Cloudflare-profile amplifying handshakes
+  /// (constant 2462 in the paper).
+  stats::sample_set cloudflare_padding;
+
+  [[nodiscard]] std::size_t count(scan::handshake_class c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double share(scan::handshake_class c) const {
+    return probed == 0 ? 0.0
+                       : static_cast<double>(count(c)) /
+                             static_cast<double>(probed);
+  }
+};
+
+/// Runs the census at one Initial size.
+[[nodiscard]] census_result run_census(const internet::model& m,
+                                       const census_options& opt);
+
+/// Convenience: the paper's Fig. 3 sweep, 1200..1472 in steps of 10
+/// (the last step lands on 1472, the MTU-dictated maximum).
+[[nodiscard]] std::vector<std::size_t> initial_size_sweep();
+
+}  // namespace certquic::core

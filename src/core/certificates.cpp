@@ -1,0 +1,226 @@
+#include "core/certificates.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/hex.hpp"
+
+namespace certquic::core {
+namespace {
+
+std::size_t alg_index(x509::key_algorithm a) {
+  switch (a) {
+    case x509::key_algorithm::rsa_2048:
+      return 0;
+    case x509::key_algorithm::rsa_4096:
+      return 1;
+    case x509::key_algorithm::ecdsa_p256:
+      return 2;
+    case x509::key_algorithm::ecdsa_p384:
+      return 3;
+  }
+  return 0;
+}
+
+void account_fields(const x509::certificate& cert,
+                    std::array<stats::summary, 6>& sums) {
+  const auto& s = cert.sizes();
+  sums[0].add(static_cast<double>(s.subject));
+  sums[1].add(static_cast<double>(s.issuer));
+  sums[2].add(static_cast<double>(s.public_key_info));
+  sums[3].add(static_cast<double>(s.extensions));
+  sums[4].add(static_cast<double>(s.signature));
+  sums[5].add(static_cast<double>(s.other()));
+}
+
+struct profile_accumulator {
+  std::size_t count = 0;
+  stats::sample_set leaf_sizes;
+  std::vector<std::size_t> parent_sizes;
+  std::string display;
+};
+
+}  // namespace
+
+const std::array<std::string, kAlgClasses>& alg_class_names() {
+  static const std::array<std::string, kAlgClasses> names = {
+      "RSA-2048", "RSA-4096", "ECDSA-256", "ECDSA-384"};
+  return names;
+}
+
+corpus_result analyze_corpus(const internet::model& m,
+                             const corpus_options& opt) {
+  corpus_result out;
+
+  std::size_t tls_total = 0;
+  for (const auto& rec : m.records()) {
+    tls_total += rec.serves_tls() ? 1 : 0;
+  }
+  const std::size_t stride =
+      opt.max_services == 0 || tls_total <= opt.max_services
+          ? 1
+          : (tls_total + opt.max_services - 1) / opt.max_services;
+
+  std::map<std::string, profile_accumulator> quic_profiles;
+  std::map<std::string, profile_accumulator> https_profiles;
+  std::set<std::string> seen_nonleaf_serials[2];
+  std::size_t quic_services = 0;
+  std::size_t https_services = 0;
+
+  std::size_t tls_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_tls()) {
+      continue;
+    }
+    if (tls_index++ % stride != 0) {
+      continue;
+    }
+    const bool is_quic = rec.serves_quic();
+    (is_quic ? quic_services : https_services) += 1;
+    const x509::chain chain =
+        m.chain_of(rec, internet::fetch_protocol::https);
+    const std::size_t chain_size = chain.wire_size();
+    (is_quic ? out.quic_chain_sizes : out.https_chain_sizes)
+        .add(static_cast<double>(chain_size));
+
+    // Fig. 2b field sizes across every certificate in the corpus.
+    chain.for_each([&out](const x509::certificate& cert) {
+      const auto& s = cert.sizes();
+      out.field_subject.add(static_cast<double>(s.subject));
+      out.field_issuer.add(static_cast<double>(s.issuer));
+      out.field_spki.add(static_cast<double>(s.public_key_info));
+      out.field_extensions.add(static_cast<double>(s.extensions));
+      out.field_signature.add(static_cast<double>(s.signature));
+    });
+
+    // Fig. 8 (QUIC only): field means by chain-size and role.
+    if (is_quic) {
+      const std::size_t size_class = chain_size > 4000 ? 1 : 0;
+      account_fields(chain.leaf(), out.field_means[size_class][0]);
+      for (const auto& parent : chain.parents()) {
+        account_fields(*parent, out.field_means[size_class][1]);
+      }
+    }
+
+    // Table 2: unique certificates per corpus side.
+    const std::size_t side = is_quic ? 0 : 1;
+    ++out.alg_counts[side][0][alg_index(chain.leaf().key_alg())];
+    for (const auto& parent : chain.parents()) {
+      if (seen_nonleaf_serials[side].insert(to_hex(parent->serial()))
+              .second) {
+        ++out.alg_counts[side][1][alg_index(parent->key_alg())];
+      }
+    }
+
+    // Fig. 7 accumulation for named profiles.
+    if (rec.chain_profile != "other" && rec.cruise_sans == 0) {
+      auto& acc = (is_quic ? quic_profiles
+                           : https_profiles)[rec.chain_profile];
+      if (acc.count == 0) {
+        acc.display = m.ecosystem().profile(rec.chain_profile).display;
+        for (const auto& parent : chain.parents()) {
+          acc.parent_sizes.push_back(parent->size());
+        }
+      }
+      ++acc.count;
+      acc.leaf_sizes.add(static_cast<double>(chain.leaf().size()));
+    }
+
+    // Fig. 14 (QUIC leaves): SAN byte share vs leaf size.
+    if (is_quic) {
+      ++out.leaves_total;
+      const auto& leaf = chain.leaf();
+      const double share = leaf.size() == 0
+                               ? 0.0
+                               : static_cast<double>(leaf.san_bytes()) /
+                                     static_cast<double>(leaf.size());
+      out.san_shares.add(share);
+    }
+  }
+
+  // "35% of all certificate chains exceed even the larger of the two
+  // common amplification limits (3x1357)".
+  const std::size_t all =
+      out.quic_chain_sizes.size() + out.https_chain_sizes.size();
+  if (all > 0) {
+    const double over =
+        out.quic_chain_sizes.fraction_above(3.0 * 1357.0) *
+            static_cast<double>(out.quic_chain_sizes.size()) +
+        out.https_chain_sizes.fraction_above(3.0 * 1357.0) *
+            static_cast<double>(out.https_chain_sizes.size());
+    out.all_chains_over_4071 = over / static_cast<double>(all);
+  }
+
+  // Fig. 7 rows: top-10 by share, largest first.
+  auto build_rows = [](std::map<std::string, profile_accumulator>& profiles,
+                       std::size_t corpus_size,
+                       std::vector<chain_row>& rows, double& coverage) {
+    std::vector<const profile_accumulator*> ordered;
+    ordered.reserve(profiles.size());
+    for (auto& [id, acc] : profiles) {
+      ordered.push_back(&acc);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) { return a->count > b->count; });
+    double covered = 0.0;
+    for (const auto* acc : ordered) {
+      if (rows.size() >= 10 || acc->count == 0) {
+        break;
+      }
+      chain_row row;
+      row.display = acc->display;
+      row.parent_sizes = acc->parent_sizes;
+      row.median_leaf = static_cast<std::size_t>(acc->leaf_sizes.median());
+      row.max_leaf = static_cast<std::size_t>(acc->leaf_sizes.max());
+      row.share = corpus_size == 0 ? 0.0
+                                   : static_cast<double>(acc->count) /
+                                         static_cast<double>(corpus_size);
+      covered += row.share;
+      rows.push_back(std::move(row));
+    }
+    coverage = covered;
+  };
+  build_rows(quic_profiles, quic_services, out.quic_rows,
+             out.quic_top10_coverage);
+  build_rows(https_profiles, https_services, out.https_rows,
+             out.https_top10_coverage);
+
+  // Fig. 14 quadrants relative to the p99 SAN-share line and the
+  // 3x1357 size threshold (the paper reports 99% / 0.9% / 0.1% / 0%).
+  if (!out.san_shares.empty()) {
+    out.san_share_p99 = out.san_shares.quantile(0.99);
+  }
+  // Second pass over the recorded samples is avoided by re-deriving the
+  // quadrants from the stored shares and sizes: the corpus is re-walked
+  // cheaply through the same deterministic sample.
+  tls_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_tls()) {
+      continue;
+    }
+    if (tls_index++ % stride != 0 || !rec.serves_quic()) {
+      continue;
+    }
+    const x509::chain chain =
+        m.chain_of(rec, internet::fetch_protocol::https);
+    const auto& leaf = chain.leaf();
+    const double share = leaf.size() == 0
+                             ? 0.0
+                             : static_cast<double>(leaf.san_bytes()) /
+                                   static_cast<double>(leaf.size());
+    const bool high = share >= out.san_share_p99;
+    const bool large = leaf.size() > 3 * 1357;
+    if (large && high) {
+      ++out.quadrant_large_high;
+    } else if (large) {
+      ++out.quadrant_large_low;
+    } else if (high) {
+      ++out.quadrant_small_high;
+    } else {
+      ++out.quadrant_small_low;
+    }
+  }
+  return out;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,78 @@
+// Certificate-corpus analyses: Figures 2b, 6, 7, 8, 14 and Table 2.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "internet/model.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace certquic::core {
+
+/// The key-algorithm classes of Table 2, in display order.
+inline constexpr std::size_t kAlgClasses = 4;  // RSA2048/RSA4096/EC256/EC384
+
+struct corpus_options {
+  /// 0 = analyse every TLS service; otherwise a deterministic sample.
+  std::size_t max_services = 0;
+};
+
+/// One Fig. 7 row, measured from the corpus.
+struct chain_row {
+  std::string display;
+  std::vector<std::size_t> parent_sizes;  // white boxes, served order
+  std::size_t median_leaf = 0;            // yellow box
+  std::size_t max_leaf = 0;               // orange box extent
+  double share = 0.0;                     // of the respective corpus
+};
+
+/// All certificate-corpus outputs.
+struct corpus_result {
+  // Fig. 6: chain sizes by deployment class.
+  stats::sample_set quic_chain_sizes;
+  stats::sample_set https_chain_sizes;
+  double all_chains_over_4071 = 0.0;  // "35% exceed 3x1357"
+
+  // Fig. 2b: field-size distributions over every certificate seen.
+  stats::sample_set field_subject;
+  stats::sample_set field_issuer;
+  stats::sample_set field_spki;
+  stats::sample_set field_extensions;
+  stats::sample_set field_signature;
+
+  // Fig. 8: mean field sizes for QUIC chains, split by chain size class
+  // (<=4000 / >4000) and certificate role (leaf / non-leaf). Field
+  // order: subject, issuer, SPKI, extensions, signature, other.
+  std::array<std::array<std::array<stats::summary, 6>, 2>, 2> field_means;
+
+  // Table 2: unique-certificate algorithm counts,
+  // [quic|https_only][leaf|non_leaf][alg].
+  std::array<std::array<std::array<std::size_t, kAlgClasses>, 2>, 2>
+      alg_counts{};
+
+  // Fig. 7: measured top-chain rows.
+  std::vector<chain_row> quic_rows;
+  std::vector<chain_row> https_rows;
+  double quic_top10_coverage = 0.0;
+  double https_top10_coverage = 0.0;
+
+  // Fig. 14: SAN byte share quadrants over QUIC leaf certificates.
+  std::size_t leaves_total = 0;
+  std::size_t quadrant_small_low = 0;   // <=4071 leaf, low SAN share
+  std::size_t quadrant_small_high = 0;  // <=4071, SAN share >= p99 line
+  std::size_t quadrant_large_high = 0;  // >4071 and high SAN share
+  std::size_t quadrant_large_low = 0;
+  double san_share_p99 = 0.0;  // the 28.9% threshold in the paper
+  stats::sample_set san_shares;
+};
+
+[[nodiscard]] corpus_result analyze_corpus(const internet::model& m,
+                                           const corpus_options& opt);
+
+/// Display names for the Table 2 algorithm classes.
+[[nodiscard]] const std::array<std::string, kAlgClasses>& alg_class_names();
+
+}  // namespace certquic::core

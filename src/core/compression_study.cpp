@@ -1,0 +1,112 @@
+#include "core/compression_study.hpp"
+
+#include "scan/reach.hpp"
+#include "tls/handshake.hpp"
+
+namespace certquic::core {
+
+compression_result run_compression_study(const internet::model& m,
+                                         const compression_options& opt) {
+  compression_result out;
+  const bytes& dict = m.compression_dictionary();
+  const compress::codec codecs[3] = {
+      compress::codec{compress::algorithm::brotli, dict},
+      compress::codec{compress::algorithm::zlib, dict},
+      compress::codec{compress::algorithm::zstd, dict},
+  };
+
+  // ---- Synthetic experiment over collected chains -----------------------
+  std::size_t tls_total = 0;
+  for (const auto& rec : m.records()) {
+    tls_total += rec.serves_tls() ? 1 : 0;
+  }
+  const std::size_t stride =
+      opt.max_chains == 0 || tls_total <= opt.max_chains
+          ? 1
+          : (tls_total + opt.max_chains - 1) / opt.max_chains;
+
+  std::size_t under_limit = 0;
+  std::size_t under_limit_plain = 0;
+  std::size_t chains = 0;
+  std::size_t tls_index = 0;
+  constexpr double kLimit = 3.0 * 1357.0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_tls()) {
+      continue;
+    }
+    if (tls_index++ % stride != 0) {
+      continue;
+    }
+    const x509::chain chain =
+        m.chain_of(rec, internet::fetch_protocol::https);
+    const bytes cert_msg = tls::encode_certificate(chain);
+    ++chains;
+    under_limit_plain +=
+        static_cast<double>(cert_msg.size()) <= kLimit ? 1 : 0;
+    for (int a = 0; a < 3; ++a) {
+      const bytes compressed = codecs[a].compress(cert_msg);
+      const double saving =
+          1.0 - static_cast<double>(compressed.size()) /
+                    static_cast<double>(cert_msg.size());
+      out.synthetic_savings[static_cast<std::size_t>(a)].add(saving);
+      if (a == 0) {
+        under_limit +=
+            static_cast<double>(compressed.size()) <= kLimit ? 1 : 0;
+      }
+    }
+  }
+  if (chains > 0) {
+    out.under_limit_compressed =
+        static_cast<double>(under_limit) / static_cast<double>(chains);
+    out.under_limit_uncompressed =
+        static_cast<double>(under_limit_plain) / static_cast<double>(chains);
+  }
+
+  // ---- In-the-wild probe: offer all three algorithms --------------------
+  scan::reach prober{m};
+  scan::probe_options popt;
+  popt.initial_size = 1250;  // Chromium-like client (Table 1)
+  popt.offer_compression = {compress::algorithm::brotli,
+                            compress::algorithm::zlib,
+                            compress::algorithm::zstd};
+  std::size_t quic_total = 0;
+  for (const auto& rec : m.records()) {
+    quic_total += rec.serves_quic() ? 1 : 0;
+  }
+  const std::size_t probe_stride =
+      opt.max_probes == 0 || quic_total <= opt.max_probes
+          ? 1
+          : (quic_total + opt.max_probes - 1) / opt.max_probes;
+  std::size_t probed = 0;
+  std::size_t brotli_support = 0;
+  std::size_t all_support = 0;
+  std::size_t quic_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_quic()) {
+      continue;
+    }
+    if (quic_index++ % probe_stride != 0) {
+      continue;
+    }
+    ++probed;
+    brotli_support += rec.supports_brotli ? 1 : 0;
+    all_support += rec.supports_all_algorithms ? 1 : 0;
+    const scan::probe_result probe = prober.probe(rec, popt);
+    const quic::observation& obs = probe.obs;
+    if (obs.handshake_complete && obs.compression_used &&
+        obs.certificate_uncompressed_size > 0) {
+      out.wild_savings.add(
+          1.0 - static_cast<double>(obs.certificate_msg_size) /
+                    static_cast<double>(obs.certificate_uncompressed_size));
+    }
+  }
+  if (probed > 0) {
+    out.support_brotli =
+        static_cast<double>(brotli_support) / static_cast<double>(probed);
+    out.support_all_three =
+        static_cast<double>(all_support) / static_cast<double>(probed);
+  }
+  return out;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,46 @@
+#include "core/funnel.hpp"
+
+#include "scan/qscanner.hpp"
+
+namespace certquic::core {
+
+funnel_result run_funnel(const internet::model& m,
+                         const funnel_options& opt) {
+  funnel_result out;
+  out.domains = m.records().size();
+  for (const auto& rec : m.records()) {
+    ++out.dns_outcomes[static_cast<std::size_t>(rec.dns_result)];
+    out.quic_services += rec.serves_quic() ? 1 : 0;
+  }
+
+  const http::collector collector{m};
+  out.collection = collector.collect_all();
+
+  // QScanner cross-check: fetch over QUIC, compare against HTTPS.
+  scan::qscanner qs{m};
+  std::size_t quic_total = out.quic_services;
+  const std::size_t stride =
+      opt.consistency_sample == 0 || quic_total <= opt.consistency_sample
+          ? 1
+          : (quic_total + opt.consistency_sample - 1) /
+                opt.consistency_sample;
+  std::size_t quic_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_quic()) {
+      continue;
+    }
+    if (quic_index++ % stride != 0) {
+      continue;
+    }
+    const scan::qscan_result fetched = qs.fetch(rec);
+    if (!fetched.ok) {
+      continue;
+    }
+    ++out.consistency_checked;
+    out.consistency_same +=
+        qs.leaf_matches_https(m, rec, fetched) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,41 @@
+// The §3.1/§3.2 measurement funnel: DNS resolution, HTTPS certificate
+// collection, QUIC service discovery and the certificate-consistency
+// sanitization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "http/collector.hpp"
+#include "internet/model.hpp"
+
+namespace certquic::core {
+
+struct funnel_result {
+  std::size_t domains = 0;
+  // DNS outcomes (§3.1): indexed by dns::outcome.
+  std::array<std::size_t, 6> dns_outcomes{};
+  http::collection_stats collection;
+  std::size_t quic_services = 0;
+  // §3.2 sanitization: fraction of QUIC services serving the same leaf
+  // as over HTTPS (96.7% in the paper).
+  std::size_t consistency_checked = 0;
+  std::size_t consistency_same = 0;
+
+  [[nodiscard]] double consistency_share() const {
+    return consistency_checked == 0
+               ? 0.0
+               : static_cast<double>(consistency_same) /
+                     static_cast<double>(consistency_checked);
+  }
+};
+
+struct funnel_options {
+  /// QUIC services to cross-check over both protocols (QScanner pass).
+  std::size_t consistency_sample = 300;
+};
+
+[[nodiscard]] funnel_result run_funnel(const internet::model& m,
+                                       const funnel_options& opt);
+
+}  // namespace certquic::core

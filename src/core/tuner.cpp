@@ -1,0 +1,75 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+
+#include "scan/reach.hpp"
+
+namespace certquic::core {
+
+void initial_size_tuner::record(const std::string& domain,
+                                std::size_t server_flight_bytes) {
+  cache_[domain] = server_flight_bytes;
+}
+
+std::size_t initial_size_tuner::recommend(const std::string& domain) const {
+  const auto it = cache_.find(domain);
+  if (it == cache_.end()) {
+    return kMinInitial;
+  }
+  // The server may send up to 3x the client Initial before validation;
+  // a small headroom covers ACK/padding overhead variations.
+  const std::size_t needed = (it->second + 2) / 3 + 16;
+  return std::clamp(needed, kMinInitial, kMaxInitial);
+}
+
+tuner_result run_tuner_study(const internet::model& m,
+                             std::size_t max_services) {
+  tuner_result out;
+  initial_size_tuner tuner;
+  scan::reach prober{m};
+
+  std::size_t quic_total = 0;
+  for (const auto& rec : m.records()) {
+    quic_total += rec.serves_quic() ? 1 : 0;
+  }
+  const std::size_t stride =
+      max_services == 0 || quic_total <= max_services
+          ? 1
+          : (quic_total + max_services - 1) / max_services;
+
+  std::size_t quic_index = 0;
+  for (const auto& rec : m.records()) {
+    if (!rec.serves_quic()) {
+      continue;
+    }
+    if (quic_index++ % stride != 0) {
+      continue;
+    }
+    ++out.services;
+
+    // Visit 1: RFC-minimum Initial; learn the server's flight size.
+    scan::probe_options first;
+    first.initial_size = initial_size_tuner::kMinInitial;
+    const scan::probe_result visit1 = prober.probe(rec, first);
+    const bool was_multi =
+        visit1.cls == scan::handshake_class::multi_rtt;
+    out.multi_rtt_default += was_multi ? 1 : 0;
+    if (visit1.obs.bytes_received_total > 0) {
+      tuner.record(rec.domain, visit1.obs.bytes_received_total);
+    }
+
+    // Visit 2: tuned Initial.
+    scan::probe_options second;
+    second.initial_size = tuner.recommend(rec.domain);
+    const scan::probe_result visit2 = prober.probe(rec, second);
+    const bool still_multi =
+        visit2.cls == scan::handshake_class::multi_rtt;
+    out.multi_rtt_tuned += still_multi ? 1 : 0;
+    if (was_multi && visit2.cls == scan::handshake_class::one_rtt) {
+      ++out.converted_to_one_rtt;
+    }
+  }
+  return out;
+}
+
+}  // namespace certquic::core

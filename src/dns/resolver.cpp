@@ -1,0 +1,47 @@
+#include "dns/resolver.hpp"
+
+#include "util/errors.hpp"
+
+namespace certquic::dns {
+
+std::string to_string(outcome o) {
+  switch (o) {
+    case outcome::a_record:
+      return "A";
+    case outcome::no_a_record:
+      return "resolved-no-A";
+    case outcome::servfail:
+      return "SERVFAIL";
+    case outcome::nxdomain:
+      return "NXDOMAIN";
+    case outcome::timeout:
+      return "timeout";
+    case outcome::refused:
+      return "REFUSED";
+  }
+  throw config_error("unknown dns outcome");
+}
+
+resolver::resolver(std::uint64_t seed, funnel_rates rates)
+    : seed_(seed), rates_(rates) {}
+
+resolution resolver::resolve(std::uint64_t domain_id) const {
+  rng r{seed_ ^ (domain_id * 0x9e3779b97f4a7c15ULL)};
+  const double weights[] = {rates_.a_record, rates_.no_a_record,
+                            rates_.servfail, rates_.nxdomain,
+                            rates_.timeout,  rates_.refused};
+  const auto pick = r.weighted_index(weights);
+  resolution out;
+  out.result = static_cast<outcome>(pick);
+  if (out.result == outcome::a_record) {
+    // Synthetic unicast space: avoid 0/127/224+ first octets.
+    const auto a = static_cast<std::uint8_t>(1 + r.uniform(0, 199));
+    const auto b = static_cast<std::uint8_t>(r.uniform(0, 255));
+    const auto c = static_cast<std::uint8_t>(r.uniform(0, 255));
+    const auto d = static_cast<std::uint8_t>(1 + r.uniform(0, 253));
+    out.address = net::ipv4::of(a, b, c, d);
+  }
+  return out;
+}
+
+}  // namespace certquic::dns

@@ -1,0 +1,154 @@
+// The synthetic Internet: a ranked domain population whose deployment
+// mix reproduces the marginal distributions the paper measured.
+//
+// Calibration sources (all from the paper):
+//  * DNS funnel rates                       — §3.1
+//  * QUIC / HTTPS-only shares per rank group — Fig. 12 (~21% / ~59%)
+//  * handshake-class mix per rank group      — Fig. 13 (at Initial 1362)
+//  * chain shares                            — Fig. 7a / 7b
+//  * browser compression support             — Table 1 (brotli 96%,
+//    all three algorithms 0.05%)
+//  * load-balancer encapsulation by rank     — §4.1 (25% top-1k,
+//    12% top-10k, ~1% elsewhere; 1.2% overall)
+//  * certificate rotation noise              — §3.2 (3.3%)
+//  * Meta point-of-presence host map         — §4.3 / Fig. 11
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ca/ecosystem.hpp"
+#include "dns/resolver.hpp"
+#include "net/address.hpp"
+#include "quic/behavior.hpp"
+#include "x509/chain.hpp"
+
+namespace certquic::internet {
+
+/// What a domain serves.
+enum class service_class : std::uint8_t {
+  unresolved,  // DNS failure or no A record
+  no_tls,      // web server without TLS
+  https_only,  // TLS over TCP only
+  quic,        // QUIC (and HTTPS)
+};
+
+/// Server implementation archetypes driving handshake behaviour.
+enum class behavior_kind : std::uint8_t {
+  cloudflare,            // §4.1: separate padded ACK, padding not counted
+  legacy_amplifier,      // pre-RFC implementations without byte limits
+  standard_no_coalesce,  // compliant; padded ACK + no coalescing
+  standard_lean,         // compliant, no coalescing, no ACK datagram —
+                         // borderline services that flip multi-RTT/1-RTT
+                         // with the Initial size (§4.1)
+  compliant_coalesce,    // fully compliant + coalescing
+  retry_always,          // a-priori DoS protection
+};
+
+/// One domain of the ranked population. Records are compact; the
+/// certificate chain is re-materialized deterministically on demand.
+struct service_record {
+  std::uint32_t rank = 0;  // 1-based
+  std::uint64_t seed = 0;
+  std::string domain;
+  dns::outcome dns_result = dns::outcome::timeout;
+  net::ipv4 address;
+  service_class svc = service_class::unresolved;
+
+  std::string chain_profile;       // ecosystem id, or "other"
+  bool force_rsa_leaf = false;
+  std::uint16_t cruise_sans = 0;   // >0: SAN-heavy leaf (Appendix E)
+  bool rotated_cert = false;       // QUIC cert differs from HTTPS (§3.2)
+
+  behavior_kind behavior = behavior_kind::standard_no_coalesce;
+  bool supports_brotli = false;
+  bool supports_all_algorithms = false;  // the 0.05% (Meta-operated)
+  std::uint8_t lb_overhead = 0;          // encapsulation bytes, 0 = none
+
+  std::int32_t redirect_to = -1;  // index of redirect target, -1 = none
+
+  [[nodiscard]] bool serves_tls() const noexcept {
+    return svc == service_class::https_only || svc == service_class::quic;
+  }
+  [[nodiscard]] bool serves_quic() const noexcept {
+    return svc == service_class::quic;
+  }
+};
+
+/// Which protocol a chain is being fetched over (certificates may
+/// rotate between the HTTPS and QUIC scans, §3.2).
+enum class fetch_protocol { https, quic };
+
+/// One host of the Meta point-of-presence /24 (§4.3, Fig. 11).
+struct meta_host {
+  net::ipv4 address;
+  std::string services;  // e.g. "facebook.com, messenger.com, fbcdn.net"
+  std::string sni;
+  bool serves_quic = false;
+  std::size_t retransmissions = 0;  // mvfst resend budget
+  std::uint16_t extra_sans = 0;     // instagram/whatsapp carry big SANs
+  std::uint64_t seed = 0;
+};
+
+/// Generation parameters.
+struct config {
+  std::size_t domains = 100'000;
+  std::uint64_t seed = 42;
+};
+
+/// The generated population plus materialization helpers.
+class model {
+ public:
+  [[nodiscard]] static model generate(const config& cfg);
+
+  [[nodiscard]] const std::vector<service_record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const ca::ecosystem& ecosystem() const noexcept {
+    return eco_;
+  }
+  [[nodiscard]] const dns::resolver& resolver() const noexcept {
+    return resolver_;
+  }
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return records_.size();
+  }
+
+  /// Number of rank groups used for the Fig. 12/13 analyses.
+  static constexpr std::size_t kRankGroups = 10;
+  /// Rank group of a record (0 = most popular).
+  [[nodiscard]] std::size_t rank_group(const service_record& r) const;
+
+  /// Deterministically materializes the chain a record serves over the
+  /// given protocol. Rotated services yield a different (re-issued)
+  /// leaf over QUIC than over HTTPS.
+  [[nodiscard]] x509::chain chain_of(const service_record& r,
+                                     fetch_protocol proto) const;
+
+  /// Server behaviour profile for a QUIC record.
+  [[nodiscard]] quic::server_behavior behavior_of(
+      const service_record& r) const;
+
+  /// Shared compression dictionary for the whole population.
+  [[nodiscard]] const bytes& compression_dictionary() const noexcept {
+    return dictionary_;
+  }
+
+  /// The Meta PoP /24 before or after the responsible disclosure.
+  [[nodiscard]] std::vector<meta_host> meta_pop(bool post_disclosure) const;
+  /// Chain served by a Meta host.
+  [[nodiscard]] x509::chain meta_chain(const meta_host& h) const;
+  /// Behaviour of a Meta host (mvfst semantics).
+  [[nodiscard]] quic::server_behavior meta_behavior(const meta_host& h) const;
+
+ private:
+  std::vector<service_record> records_;
+  ca::ecosystem eco_;
+  dns::resolver resolver_{0xd5d5};
+  bytes dictionary_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace certquic::internet

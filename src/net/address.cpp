@@ -1,0 +1,45 @@
+#include "net/address.hpp"
+
+#include <charconv>
+
+#include "util/errors.hpp"
+
+namespace certquic::net {
+
+ipv4 ipv4::parse(const std::string& dotted) {
+  std::uint32_t out = 0;
+  const char* p = dotted.data();
+  const char* end = p + dotted.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) {
+      throw codec_error("bad IPv4 literal: " + dotted);
+    }
+    out = (out << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') {
+        throw codec_error("bad IPv4 literal: " + dotted);
+      }
+      ++p;
+    }
+  }
+  if (p != end) {
+    throw codec_error("bad IPv4 literal: " + dotted);
+  }
+  return ipv4{out};
+}
+
+std::string ipv4::to_string() const {
+  return std::to_string(value >> 24) + "." +
+         std::to_string((value >> 16) & 0xff) + "." +
+         std::to_string((value >> 8) & 0xff) + "." +
+         std::to_string(value & 0xff);
+}
+
+std::string endpoint_id::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace certquic::net

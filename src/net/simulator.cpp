@@ -1,0 +1,80 @@
+#include "net/simulator.hpp"
+
+namespace certquic::net {
+
+void simulator::attach(const endpoint_id& ep, handler h) {
+  endpoints_[ep] = std::move(h);
+}
+
+void simulator::detach(const endpoint_id& ep) { endpoints_.erase(ep); }
+
+void simulator::set_path_to(const endpoint_id& dst, const path_config& path) {
+  paths_[dst] = path;
+}
+
+const path_config& simulator::path_to(const endpoint_id& dst) const {
+  const auto it = paths_.find(dst);
+  return it != paths_.end() ? it->second : default_path_;
+}
+
+void simulator::push(time_point at, std::function<void()> fn) {
+  queue_.push(event{at, next_seq_++, std::move(fn)});
+}
+
+void simulator::send(datagram d) {
+  const path_config& path = path_to(d.dst);
+  if (d.payload.size() > path.udp_capacity()) {
+    // QUIC sets DF; an oversize datagram is dropped, not fragmented.
+    ++stats_.dropped_oversize;
+    return;
+  }
+  if (path.loss_rate > 0.0 && loss_rng_.chance(path.loss_rate)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  push(now_ + path.one_way_delay, [this, d = std::move(d)]() {
+    const auto it = endpoints_.find(d.dst);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_unroutable;
+      return;
+    }
+    ++stats_.delivered;
+    stats_.bytes_delivered += d.payload.size();
+    it->second(d);
+  });
+}
+
+void simulator::schedule(duration delay, timer_fn fn) {
+  push(now_ + delay, std::move(fn));
+}
+
+std::size_t simulator::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    // Copy out, then pop before invoking: the handler may push events.
+    auto fn = queue_.top().fn;
+    now_ = queue_.top().at;
+    queue_.pop();
+    fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t simulator::run_until(time_point deadline, std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && processed < max_events &&
+         queue_.top().at <= deadline) {
+    auto fn = queue_.top().fn;
+    now_ = queue_.top().at;
+    queue_.pop();
+    fn();
+    ++processed;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return processed;
+}
+
+}  // namespace certquic::net

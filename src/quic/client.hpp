@@ -1,0 +1,144 @@
+// QUIC client endpoint: performs one handshake attempt and records the
+// byte-level observations the paper's classification is built on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "quic/packet.hpp"
+#include "tls/handshake.hpp"
+#include "util/rng.hpp"
+
+namespace certquic::quic {
+
+/// Client-side handshake parameters.
+struct client_config {
+  /// Target UDP payload of the first flight (the paper sweeps
+  /// 1200..1472; browsers use 1250/1357, Table 1).
+  std::size_t initial_size = 1362;
+  /// Algorithms offered in compress_certificate; empty mirrors
+  /// quicreach's stack (no compression support).
+  std::vector<compress::algorithm> offer_compression;
+  /// False imitates an adversary / ZMap probe: never ACK, never answer.
+  bool send_acks = true;
+  std::string sni = "example.org";
+  /// Give-up deadline for the observation.
+  net::duration timeout = net::seconds(3);
+  /// When set, the first flight is stamped with this source address
+  /// (IP spoofing); responses then route to whoever owns it.
+  std::optional<net::endpoint_id> spoof_source;
+  /// Retain the raw (Compressed)Certificate message bytes in the
+  /// observation (QScanner mode, §3.2).
+  bool capture_certificate = false;
+  /// QUIC version offered in the first flight; on a Version
+  /// Negotiation reply the client retries once with a version the
+  /// server listed (costing one round trip, §2).
+  std::uint32_t version = kVersion1;
+};
+
+/// Everything measured during one handshake attempt.
+struct observation {
+  bool response_received = false;
+  bool retry_seen = false;
+  bool version_negotiation_seen = false;
+  bool handshake_complete = false;
+  bool timed_out = false;
+
+  std::size_t client_datagrams = 0;
+  /// Client datagrams sent after the first flight but before the
+  /// handshake completed — zero means a true 1-RTT handshake.
+  std::size_t acks_before_complete = 0;
+
+  std::size_t bytes_sent_first_flight = 0;
+  std::size_t bytes_sent_total = 0;
+  std::size_t bytes_received_total = 0;
+  /// Bytes received before the client's second datagram: the server's
+  /// pre-validation allowance (Figs. 4 and 5).
+  std::size_t bytes_received_first_burst = 0;
+  /// TLS bytes (CRYPTO payload) of the first burst.
+  std::size_t tls_bytes_first_burst = 0;
+  /// PADDING bytes of the first burst.
+  std::size_t padding_bytes_first_burst = 0;
+  std::size_t tls_bytes_received = 0;
+  std::size_t padding_bytes_received = 0;
+  std::size_t server_datagrams = 0;
+
+  /// Certificate message observations.
+  bool compression_used = false;
+  std::size_t certificate_msg_size = 0;          // framed, as received
+  std::size_t certificate_uncompressed_size = 0; // declared by sender
+  /// Raw framed (Compressed)Certificate bytes when capture was enabled.
+  bytes certificate_message;
+
+  net::time_point start_time = 0;
+  net::time_point complete_time = 0;
+  net::time_point first_receive_time = 0;
+  net::time_point last_receive_time = 0;
+
+  /// First-burst amplification factor (Fig. 4): UDP payload received
+  /// before validation over UDP payload sent in the first flight.
+  [[nodiscard]] double first_burst_amplification() const {
+    return bytes_sent_first_flight == 0
+               ? 0.0
+               : static_cast<double>(bytes_received_first_burst) /
+                     static_cast<double>(bytes_sent_first_flight);
+  }
+
+  /// Total amplification including resends (Fig. 9 / §4.3).
+  [[nodiscard]] double total_amplification() const {
+    return bytes_sent_first_flight == 0
+               ? 0.0
+               : static_cast<double>(bytes_received_total) /
+                     static_cast<double>(bytes_sent_first_flight);
+  }
+};
+
+/// A single-use handshake client.
+class client {
+ public:
+  client(net::simulator& sim, net::endpoint_id local,
+         net::endpoint_id server, client_config config, std::uint64_t seed);
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  /// Sends the first flight.
+  void start();
+
+  [[nodiscard]] const observation& result() const noexcept { return obs_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return obs_.handshake_complete || obs_.timed_out;
+  }
+
+ private:
+  void send_initial(const bytes& token);
+  void on_datagram(const net::datagram& d);
+  void maybe_complete();
+  void send_ack_flight();
+
+  net::simulator& sim_;
+  net::endpoint_id local_;
+  net::endpoint_id server_;
+  client_config config_;
+  rng rng_;
+  observation obs_;
+
+  bytes dcid_;
+  bytes scid_;  // empty: browsers commonly use zero-length source CIDs
+  bytes server_scid_;
+  bytes initial_stream_;    // reassembled Initial-level CRYPTO (in order)
+  bytes handshake_stream_;  // reassembled Handshake-level CRYPTO
+  std::uint64_t largest_initial_pn_ = 0;
+  std::uint64_t largest_handshake_pn_ = 0;
+  bool handshake_keys_ = false;
+  bool ack_timer_armed_ = false;
+  bool finished_sent_ = false;
+  std::uint64_t next_pn_initial_ = 0;
+  std::uint64_t next_pn_handshake_ = 0;
+};
+
+}  // namespace certquic::quic

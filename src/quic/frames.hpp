@@ -1,0 +1,64 @@
+// QUIC v1 frames used during the handshake (RFC 9000 §19 subset).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/buffer.hpp"
+#include "util/bytes.hpp"
+
+namespace certquic::quic {
+
+/// PADDING — run-length compressed representation of 0x00 frames.
+struct padding_frame {
+  std::size_t count = 0;
+};
+
+/// PING — ack-eliciting no-op.
+struct ping_frame {};
+
+/// ACK — minimal single-range form acknowledging [0, largest].
+struct ack_frame {
+  std::uint64_t largest = 0;
+};
+
+/// CRYPTO — a slice of the TLS handshake byte stream.
+struct crypto_frame {
+  std::uint64_t offset = 0;
+  bytes data;
+};
+
+/// CONNECTION_CLOSE (transport flavour, type 0x1c).
+struct connection_close_frame {
+  std::uint64_t error_code = 0;
+  std::string reason;
+};
+
+using frame = std::variant<padding_frame, ping_frame, ack_frame, crypto_frame,
+                           connection_close_frame>;
+
+/// Serialized size of a frame in bytes.
+[[nodiscard]] std::size_t frame_size(const frame& f);
+
+/// Appends the wire encoding of `f`.
+void write_frame(buffer_writer& w, const frame& f);
+
+/// Parses every frame in `payload`; consecutive PADDING bytes collapse
+/// into one padding_frame. Throws codec_error on malformed input.
+[[nodiscard]] std::vector<frame> parse_frames(bytes_view payload);
+
+/// True for frames that elicit acknowledgement (everything except
+/// PADDING, ACK and CONNECTION_CLOSE).
+[[nodiscard]] bool is_ack_eliciting(const frame& f);
+
+/// Byte-accounting helper for a parsed frame list.
+struct frame_accounting {
+  std::size_t crypto_payload = 0;  // TLS bytes (CRYPTO frame data)
+  std::size_t padding = 0;         // PADDING bytes
+  bool ack_eliciting = false;
+};
+[[nodiscard]] frame_accounting account(const std::vector<frame>& frames);
+
+}  // namespace certquic::quic

@@ -1,0 +1,24 @@
+// QUIC variable-length integers (RFC 9000 §16).
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+#include "util/bytes.hpp"
+
+namespace certquic::quic {
+
+/// Largest value representable (2^62 - 1).
+inline constexpr std::uint64_t kVarintMax = (1ULL << 62) - 1;
+
+/// Bytes needed to encode `v` (1, 2, 4 or 8). Throws codec_error above
+/// kVarintMax.
+[[nodiscard]] std::size_t varint_size(std::uint64_t v);
+
+/// Appends the minimal QUIC varint encoding of `v`.
+void write_varint(buffer_writer& w, std::uint64_t v);
+
+/// Reads one varint; throws codec_error on truncation.
+[[nodiscard]] std::uint64_t read_varint(buffer_reader& r);
+
+}  // namespace certquic::quic

@@ -1,0 +1,44 @@
+#include "scan/classify.hpp"
+
+#include "util/errors.hpp"
+
+namespace certquic::scan {
+
+std::string to_string(handshake_class c) {
+  switch (c) {
+    case handshake_class::one_rtt:
+      return "1-RTT";
+    case handshake_class::retry:
+      return "RETRY";
+    case handshake_class::multi_rtt:
+      return "Multi-RTT";
+    case handshake_class::amplification:
+      return "Amplification";
+    case handshake_class::unreachable:
+      return "unreachable";
+  }
+  throw config_error("unknown handshake_class");
+}
+
+handshake_class classify(const quic::observation& obs) {
+  if (!obs.response_received) {
+    return handshake_class::unreachable;
+  }
+  if (obs.retry_seen) {
+    return handshake_class::retry;
+  }
+  if (!obs.handshake_complete) {
+    return handshake_class::unreachable;
+  }
+  if (obs.acks_before_complete == 0) {
+    // Completed within a single round trip; compliant only if the
+    // server stayed within 3x of the client's first flight.
+    return obs.bytes_received_first_burst <=
+                   3 * obs.bytes_sent_first_flight
+               ? handshake_class::one_rtt
+               : handshake_class::amplification;
+  }
+  return handshake_class::multi_rtt;
+}
+
+}  // namespace certquic::scan

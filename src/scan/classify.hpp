@@ -1,0 +1,25 @@
+// Handshake classification (§3.2): maps one observed handshake to the
+// paper's four groups (plus unreachable).
+#pragma once
+
+#include <string>
+
+#include "quic/client.hpp"
+
+namespace certquic::scan {
+
+/// The §3.2 handshake groups.
+enum class handshake_class {
+  one_rtt,        // complete in 1 RTT, within the amplification limit
+  retry,          // server demanded address validation first
+  multi_rtt,      // complete but needed extra round trips
+  amplification,  // complete in 1 RTT but limit exceeded (non-compliant)
+  unreachable,    // no usable response
+};
+
+[[nodiscard]] std::string to_string(handshake_class c);
+
+/// Classifies a finished observation.
+[[nodiscard]] handshake_class classify(const quic::observation& obs);
+
+}  // namespace certquic::scan

@@ -1,0 +1,49 @@
+#include "scan/reach.hpp"
+
+#include "net/simulator.hpp"
+#include "quic/client.hpp"
+#include "quic/server.hpp"
+#include "util/errors.hpp"
+
+namespace certquic::scan {
+
+probe_result reach::probe(const internet::service_record& rec,
+                          const probe_options& opt) const {
+  if (!rec.serves_quic()) {
+    throw config_error("reach::probe on non-QUIC service " + rec.domain);
+  }
+  net::simulator sim{rec.seed ^ 0x5ca7};
+
+  const net::endpoint_id server_ep{rec.address, 443};
+  const net::endpoint_id client_ep{net::ipv4::of(10, 99, 0, 1), 40443};
+
+  // Forward path: the encapsulating load balancer (if any) eats into
+  // the MTU in front of the server (§4.1).
+  net::path_config to_server;
+  to_server.encapsulation_overhead = rec.lb_overhead;
+  sim.set_path_to(server_ep, to_server);
+
+  quic::server srv{sim,
+                   server_ep,
+                   model_.chain_of(rec, internet::fetch_protocol::quic),
+                   model_.behavior_of(rec),
+                   model_.compression_dictionary(),
+                   rec.seed ^ 0x5e4};
+
+  quic::client_config config;
+  config.initial_size = opt.initial_size;
+  config.offer_compression = opt.offer_compression;
+  config.sni = rec.domain;
+  config.capture_certificate = opt.capture_certificate;
+  quic::client cli{sim, client_ep, server_ep, std::move(config),
+                   rec.seed ^ 0xC11};
+  cli.start();
+  sim.run();
+
+  probe_result out;
+  out.obs = cli.result();
+  out.cls = classify(out.obs);
+  return out;
+}
+
+}  // namespace certquic::scan

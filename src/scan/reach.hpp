@@ -1,0 +1,44 @@
+// quicreach-equivalent scanner (§3.2): performs one complete handshake
+// per probe, with configurable Initial size, and classifies the result.
+#pragma once
+
+#include <vector>
+
+#include "internet/model.hpp"
+#include "scan/classify.hpp"
+
+namespace certquic::scan {
+
+/// One probe's parameters.
+struct probe_options {
+  std::size_t initial_size = 1362;
+  /// Algorithms offered via compress_certificate; quicreach's stack
+  /// offers none (§3.2) — the compression probe offers all three.
+  std::vector<compress::algorithm> offer_compression;
+  /// QScanner mode: retain the raw certificate message.
+  bool capture_certificate = false;
+};
+
+/// One probe's result.
+struct probe_result {
+  handshake_class cls = handshake_class::unreachable;
+  quic::observation obs;
+};
+
+/// Stateless prober over a synthetic-Internet model. Each probe runs in
+/// a fresh simulator, mirroring the paper's independent handshakes
+/// (which pause 30 minutes between same-service probes).
+class reach {
+ public:
+  explicit reach(const internet::model& m) : model_(m) {}
+
+  /// Probes one QUIC service. Throws config_error when the record does
+  /// not serve QUIC.
+  [[nodiscard]] probe_result probe(const internet::service_record& rec,
+                                   const probe_options& opt) const;
+
+ private:
+  const internet::model& model_;
+};
+
+}  // namespace certquic::scan

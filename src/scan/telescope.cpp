@@ -1,0 +1,69 @@
+#include "scan/telescope.hpp"
+
+#include "util/errors.hpp"
+#include "util/hex.hpp"
+
+namespace certquic::scan {
+
+telescope::telescope(net::simulator& sim, net::ipv4 base)
+    : sim_(sim), base_(base.slash24()) {}
+
+telescope::~telescope() {
+  for (const auto& sensor : sensors_) {
+    sim_.detach(sensor);
+  }
+}
+
+net::endpoint_id telescope::allocate_sensor() {
+  if (next_host_ == 0xff) {
+    next_host_ = 1;
+    ++next_port_;
+  }
+  const net::endpoint_id sensor{
+      net::ipv4{base_.value | next_host_++}, next_port_};
+  sensors_.push_back(sensor);
+  sim_.attach(sensor, [this](const net::datagram& d) { on_datagram(d); });
+  return sensor;
+}
+
+void telescope::map_prefix(net::ipv4 prefix, std::string provider) {
+  prefixes_[prefix.slash24().value] = std::move(provider);
+}
+
+void telescope::on_datagram(const net::datagram& d) {
+  ++datagrams_;
+  std::string provider = "unknown";
+  const auto it = prefixes_.find(d.src.ip.slash24().value);
+  if (it != prefixes_.end()) {
+    provider = it->second;
+  }
+  std::string scid_hex = "(unparsed)";
+  try {
+    const auto packets = quic::parse_datagram(d.payload);
+    if (!packets.empty()) {
+      scid_hex = to_hex(packets.front().scid);
+    }
+  } catch (const codec_error&) {
+    // keep the sentinel; bytes still count
+  }
+  auto& session = sessions_[{provider, scid_hex}];
+  if (session.datagrams == 0) {
+    session.provider = provider;
+    session.scid_hex = scid_hex;
+    session.first_seen = sim_.now();
+  }
+  session.last_seen = sim_.now();
+  session.bytes += d.payload.size();
+  ++session.datagrams;
+}
+
+std::vector<backscatter_session> telescope::sessions() const {
+  std::vector<backscatter_session> out;
+  out.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) {
+    out.push_back(session);
+  }
+  return out;
+}
+
+}  // namespace certquic::scan

@@ -1,0 +1,68 @@
+// Network-telescope backscatter collector (§3.2/§4.3): owns a block of
+// unused addresses; when attackers spoof sources from that block, the
+// victims' inbound traffic — the servers' amplified responses — arrives
+// here. Sessions are keyed by (provider, source connection id), exactly
+// as in the paper's analysis.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "quic/packet.hpp"
+
+namespace certquic::scan {
+
+/// One backscatter session (unique provider + SCID).
+struct backscatter_session {
+  std::string provider;
+  std::string scid_hex;
+  std::size_t bytes = 0;
+  std::size_t datagrams = 0;
+  net::time_point first_seen = 0;
+  net::time_point last_seen = 0;
+
+  [[nodiscard]] net::duration duration() const noexcept {
+    return last_seen - first_seen;
+  }
+};
+
+/// A passive telescope attached to a simulator.
+class telescope {
+ public:
+  /// Claims sensors inside `base`/24, ports drawn sequentially.
+  telescope(net::simulator& sim, net::ipv4 base);
+  ~telescope();
+
+  telescope(const telescope&) = delete;
+  telescope& operator=(const telescope&) = delete;
+
+  /// Allocates the next sensor address for an attacker to spoof.
+  [[nodiscard]] net::endpoint_id allocate_sensor();
+
+  /// Maps a /24 server prefix to a provider label for grouping.
+  void map_prefix(net::ipv4 prefix, std::string provider);
+
+  /// All sessions observed so far.
+  [[nodiscard]] std::vector<backscatter_session> sessions() const;
+
+  [[nodiscard]] std::size_t datagrams_seen() const noexcept {
+    return datagrams_;
+  }
+
+ private:
+  void on_datagram(const net::datagram& d);
+
+  net::simulator& sim_;
+  net::ipv4 base_;
+  std::uint16_t next_port_ = 20000;
+  std::uint8_t next_host_ = 1;
+  std::vector<net::endpoint_id> sensors_;
+  std::map<std::uint32_t, std::string> prefixes_;  // /24 -> provider
+  std::map<std::pair<std::string, std::string>, backscatter_session>
+      sessions_;
+  std::size_t datagrams_ = 0;
+};
+
+}  // namespace certquic::scan

@@ -1,0 +1,33 @@
+// ZMap-style adversary imitation (§3.2/§4.3): sends a single Initial,
+// never acknowledges, and measures everything the server sends back
+// (including PTO retransmissions).
+#pragma once
+
+#include "internet/model.hpp"
+#include "net/simulator.hpp"
+#include "quic/behavior.hpp"
+#include "quic/client.hpp"
+#include "x509/chain.hpp"
+
+namespace certquic::scan {
+
+/// Result of one silent probe.
+struct zmap_result {
+  bool responded = false;
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t server_datagrams = 0;
+  double amplification = 0.0;
+  /// Wall-clock span between first and last server datagram.
+  net::duration backscatter_duration = 0;
+};
+
+/// Probes an arbitrary server endpoint with one unacknowledged Initial
+/// of `initial_size` bytes and listens for `listen_for`.
+[[nodiscard]] zmap_result zmap_probe(x509::chain chain,
+                                     const quic::server_behavior& behavior,
+                                     std::size_t initial_size,
+                                     net::duration listen_for,
+                                     std::uint64_t seed);
+
+}  // namespace certquic::scan

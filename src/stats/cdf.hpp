@@ -1,0 +1,82 @@
+// Empirical distributions: quantiles, CDF evaluation and CDF series for
+// regenerating the paper's cumulative plots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace certquic::stats {
+
+/// One (x, F(x)) point of an empirical CDF.
+struct cdf_point {
+  double x = 0.0;
+  double f = 0.0;
+};
+
+/// Stores samples and answers distribution queries.
+///
+/// Samples are sorted lazily on first query; adding after a query is
+/// allowed and re-sorts on the next query.
+class sample_set {
+ public:
+  /// Adds one observation.
+  void add(double x);
+  /// Adds many observations.
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Quantile by linear interpolation between order statistics;
+  /// q clamped to [0, 1]. Throws std::logic_error on an empty set.
+  [[nodiscard]] double quantile(double q) const;
+  /// Convenience median == quantile(0.5).
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] double mean() const;
+
+  /// Empirical CDF at x: fraction of samples <= x. 0 for an empty set.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+  /// Fraction of samples strictly above x.
+  [[nodiscard]] double fraction_above(double x) const;
+
+  /// Evenly spaced CDF series with `points` entries (by quantile), e.g.
+  /// for printing figure data. Always includes min and max.
+  [[nodiscard]] std::vector<cdf_point> cdf_series(std::size_t points) const;
+
+  /// Renders "p10 p25 p50 p75 p90 p99 max" on one line for quick reports.
+  [[nodiscard]] std::string quantile_line() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) used for binned figures
+/// (e.g. handshake classes per Initial size).
+class histogram {
+ public:
+  /// Creates `bins` equal-width buckets covering [lo, hi).
+  histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds an observation; out-of-range values clamp to the edge buckets.
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace certquic::stats

@@ -1,0 +1,54 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace certquic::stats {
+
+void summary::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void summary::merge(const summary& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total_n = na + nb;
+  mean_ += delta * nb / total_n;
+  m2_ += other.m2_ + delta * delta * na * nb / total_n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double summary::variance() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double summary::ci95_half_width() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace certquic::stats

@@ -1,0 +1,301 @@
+#include "tls/handshake.hpp"
+
+#include "util/buffer.hpp"
+#include "util/errors.hpp"
+
+namespace certquic::tls {
+namespace {
+
+// TLS extension code points used below.
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtSupportedGroups = 10;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSignatureAlgorithms = 13;
+constexpr std::uint16_t kExtCompressCertificate = 27;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+constexpr std::uint16_t kExtPskModes = 45;
+constexpr std::uint16_t kExtKeyShare = 51;
+constexpr std::uint16_t kExtQuicTransportParams = 57;
+
+void put_extension(buffer_writer& w, std::uint16_t type, bytes_view body) {
+  w.u16(type);
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(body);
+}
+
+bytes random_bytes(std::size_t n, rng& r) {
+  bytes out(n);
+  r.fill(out);
+  return out;
+}
+
+}  // namespace
+
+bytes frame(handshake_type type, bytes_view body) {
+  buffer_writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u24(static_cast<std::uint32_t>(body.size()));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+frame_info peek_frame(bytes_view data) {
+  buffer_reader r{data};
+  const auto type = static_cast<handshake_type>(r.u8());
+  const std::uint32_t len = r.u24();
+  if (r.remaining() < len) {
+    throw codec_error("handshake frame truncated");
+  }
+  return {type, 4 + static_cast<std::size_t>(len)};
+}
+
+bytes encode_client_hello(const client_hello_config& config, rng& r) {
+  buffer_writer body;
+  body.u16(0x0303);  // legacy_version
+  body.raw(random_bytes(32, r));
+  body.u8(32);  // legacy_session_id (middlebox compat)
+  body.raw(random_bytes(32, r));
+  // Cipher suites: the three TLS 1.3 suites.
+  body.u16(6);
+  body.u16(0x1301);
+  body.u16(0x1302);
+  body.u16(0x1303);
+  body.u8(1);  // legacy_compression_methods
+  body.u8(0);
+
+  buffer_writer exts;
+  {
+    // server_name: list { type(1) + len(2) + host }.
+    buffer_writer sni;
+    sni.u16(static_cast<std::uint16_t>(config.server_name.size() + 3));
+    sni.u8(0);
+    sni.u16(static_cast<std::uint16_t>(config.server_name.size()));
+    sni.raw(config.server_name);
+    put_extension(exts, kExtServerName, sni.view());
+  }
+  {
+    buffer_writer groups;  // x25519, secp256r1, secp384r1
+    groups.u16(6);
+    groups.u16(0x001d);
+    groups.u16(0x0017);
+    groups.u16(0x0018);
+    put_extension(exts, kExtSupportedGroups, groups.view());
+  }
+  {
+    buffer_writer alpn;  // "h3"
+    alpn.u16(3);
+    alpn.u8(2);
+    alpn.raw(std::string_view{"h3"});
+    put_extension(exts, kExtAlpn, alpn.view());
+  }
+  {
+    buffer_writer sig_algs;
+    sig_algs.u16(8);
+    sig_algs.u16(0x0403);  // ecdsa_secp256r1_sha256
+    sig_algs.u16(0x0804);  // rsa_pss_rsae_sha256
+    sig_algs.u16(0x0401);  // rsa_pkcs1_sha256
+    sig_algs.u16(0x0503);  // ecdsa_secp384r1_sha384
+    put_extension(exts, kExtSignatureAlgorithms, sig_algs.view());
+  }
+  {
+    buffer_writer versions;
+    versions.u8(2);
+    versions.u16(0x0304);
+    put_extension(exts, kExtSupportedVersions, versions.view());
+  }
+  {
+    buffer_writer psk;
+    psk.u8(1);
+    psk.u8(1);  // psk_dhe_ke
+    put_extension(exts, kExtPskModes, psk.view());
+  }
+  {
+    buffer_writer share;  // one x25519 entry
+    share.u16(4 + 32);
+    share.u16(0x001d);
+    share.u16(32);
+    share.raw(random_bytes(32, r));
+    put_extension(exts, kExtKeyShare, share.view());
+  }
+  {
+    // QUIC transport parameters: a realistic ~60-byte blob of varint
+    // id/len/value entries; content does not matter for byte accounting.
+    put_extension(exts, kExtQuicTransportParams, random_bytes(58, r));
+  }
+  if (!config.compression_algorithms.empty()) {
+    buffer_writer comp;
+    comp.u8(static_cast<std::uint8_t>(
+        config.compression_algorithms.size() * 2));
+    for (const auto alg : config.compression_algorithms) {
+      comp.u16(static_cast<std::uint16_t>(alg));
+    }
+    put_extension(exts, kExtCompressCertificate, comp.view());
+  }
+
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(exts.view());
+  return frame(handshake_type::client_hello, body.view());
+}
+
+std::vector<compress::algorithm> parse_offered_compression(
+    bytes_view client_hello_frame) {
+  buffer_reader r{client_hello_frame};
+  const auto info = peek_frame(client_hello_frame);
+  if (info.type != handshake_type::client_hello) {
+    throw codec_error("not a ClientHello");
+  }
+  r.skip(4);       // frame header
+  r.skip(2 + 32);  // version + random
+  const std::uint8_t session_len = r.u8();
+  r.skip(session_len);
+  const std::uint16_t cipher_len = r.u16();
+  r.skip(cipher_len);
+  const std::uint8_t comp_len = r.u8();
+  r.skip(comp_len);
+  const std::uint16_t ext_total = r.u16();
+  buffer_reader exts{r.raw(ext_total)};
+  std::vector<compress::algorithm> out;
+  while (!exts.empty()) {
+    const std::uint16_t type = exts.u16();
+    const std::uint16_t len = exts.u16();
+    buffer_reader ext_body{exts.raw(len)};
+    if (type == kExtCompressCertificate) {
+      const std::uint8_t list_len = ext_body.u8();
+      for (int i = 0; i < list_len / 2; ++i) {
+        out.push_back(static_cast<compress::algorithm>(ext_body.u16()));
+      }
+    }
+  }
+  return out;
+}
+
+bytes encode_server_hello(rng& r) {
+  buffer_writer body;
+  body.u16(0x0303);
+  body.raw(random_bytes(32, r));
+  body.u8(32);
+  body.raw(random_bytes(32, r));  // echoed legacy_session_id
+  body.u16(0x1301);               // TLS_AES_128_GCM_SHA256
+  body.u8(0);                     // compression
+  buffer_writer exts;
+  {
+    buffer_writer versions;
+    versions.u16(0x0304);
+    put_extension(exts, kExtSupportedVersions, versions.view());
+  }
+  {
+    buffer_writer share;
+    share.u16(0x001d);
+    share.u16(32);
+    share.raw(random_bytes(32, r));
+    put_extension(exts, kExtKeyShare, share.view());
+  }
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(exts.view());
+  return frame(handshake_type::server_hello, body.view());
+}
+
+bytes encode_encrypted_extensions(rng& r) {
+  buffer_writer exts;
+  {
+    buffer_writer alpn;
+    alpn.u16(3);
+    alpn.u8(2);
+    alpn.raw(std::string_view{"h3"});
+    put_extension(exts, kExtAlpn, alpn.view());
+  }
+  {
+    // Server QUIC transport parameters (~90 bytes: includes original
+    // and retry connection ids, stateless reset token, limits).
+    put_extension(exts, kExtQuicTransportParams, random_bytes(94, r));
+  }
+  buffer_writer body;
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(exts.view());
+  return frame(handshake_type::encrypted_extensions, body.view());
+}
+
+bytes encode_certificate(const x509::chain& chain) {
+  buffer_writer body;
+  body.u8(0);  // certificate_request_context
+  const auto list_len = body.reserve_u24();
+  const std::size_t list_start = body.size();
+  chain.for_each([&body](const x509::certificate& cert) {
+    body.u24(static_cast<std::uint32_t>(cert.der().size()));
+    body.raw(cert.der());
+    body.u16(0);  // per-entry extensions
+  });
+  body.patch_u24(list_len,
+                 static_cast<std::uint32_t>(body.size() - list_start));
+  return frame(handshake_type::certificate, body.view());
+}
+
+bytes encode_compressed_certificate(const x509::chain& chain,
+                                    const compress::codec& codec) {
+  const bytes inner = encode_certificate(chain);
+  const bytes compressed = codec.compress(inner);
+  buffer_writer body;
+  body.u16(static_cast<std::uint16_t>(codec.alg()));
+  body.u24(static_cast<std::uint32_t>(inner.size()));
+  body.u24(static_cast<std::uint32_t>(compressed.size()));
+  body.raw(compressed);
+  return frame(handshake_type::compressed_certificate, body.view());
+}
+
+bytes encode_certificate_verify(x509::key_algorithm leaf_key, rng& r) {
+  buffer_writer body;
+  std::size_t sig_size = 0;
+  switch (leaf_key) {
+    case x509::key_algorithm::rsa_2048:
+      body.u16(0x0804);  // rsa_pss_rsae_sha256
+      sig_size = 256;
+      break;
+    case x509::key_algorithm::rsa_4096:
+      body.u16(0x0804);
+      sig_size = 512;
+      break;
+    case x509::key_algorithm::ecdsa_p256:
+      body.u16(0x0403);
+      sig_size = 71;
+      break;
+    case x509::key_algorithm::ecdsa_p384:
+      body.u16(0x0503);
+      sig_size = 103;
+      break;
+  }
+  body.u16(static_cast<std::uint16_t>(sig_size));
+  body.raw(random_bytes(sig_size, r));
+  return frame(handshake_type::certificate_verify, body.view());
+}
+
+bytes encode_finished(rng& r) {
+  return frame(handshake_type::finished, random_bytes(32, r));
+}
+
+std::size_t server_flight::handshake_crypto_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& msg : handshake_msgs) {
+    total += msg.size();
+  }
+  return total;
+}
+
+std::size_t server_flight::total_size() const noexcept {
+  return server_hello.size() + handshake_crypto_size();
+}
+
+server_flight build_server_flight(const x509::chain& chain,
+                                  const compress::codec* codec, rng& r) {
+  server_flight flight;
+  flight.server_hello = encode_server_hello(r);
+  flight.handshake_msgs.push_back(encode_encrypted_extensions(r));
+  flight.handshake_msgs.push_back(
+      codec != nullptr ? encode_compressed_certificate(chain, *codec)
+                       : encode_certificate(chain));
+  flight.handshake_msgs.push_back(
+      encode_certificate_verify(chain.leaf().key_alg(), r));
+  flight.handshake_msgs.push_back(encode_finished(r));
+  return flight;
+}
+
+}  // namespace certquic::tls

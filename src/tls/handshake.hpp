@@ -1,0 +1,103 @@
+// TLS 1.3 handshake messages as carried in QUIC CRYPTO frames (RFC 8446,
+// RFC 9001) plus RFC 8879 certificate compression.
+//
+// Message framing, extension TLVs and field widths are wire-accurate;
+// cryptographic payloads (randoms, key shares, signatures, MACs) are
+// size-faithful placeholders. The paper's phenomena depend only on byte
+// counts, and those are exact here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "x509/chain.hpp"
+
+namespace certquic::tls {
+
+/// TLS 1.3 HandshakeType code points.
+enum class handshake_type : std::uint8_t {
+  client_hello = 1,
+  server_hello = 2,
+  encrypted_extensions = 8,
+  certificate = 11,
+  certificate_verify = 15,
+  finished = 20,
+  compressed_certificate = 25,
+};
+
+/// Frames a handshake body: 1-byte type + 3-byte length + body.
+[[nodiscard]] bytes frame(handshake_type type, bytes_view body);
+
+/// Reads the type and total framed size of the first handshake message
+/// in `data`. Throws codec_error on truncation.
+struct frame_info {
+  handshake_type type;
+  std::size_t total_size;  // header + body
+};
+[[nodiscard]] frame_info peek_frame(bytes_view data);
+
+/// ClientHello parameters relevant to this study.
+struct client_hello_config {
+  std::string server_name;
+  /// Algorithms offered in compress_certificate (RFC 8879); empty =
+  /// extension absent (like quicreach's stack, §3.2).
+  std::vector<compress::algorithm> compression_algorithms;
+};
+
+/// Encodes a realistic ClientHello (~250-330 bytes before QUIC padding):
+/// random, ciphers, SNI, ALPN h3, supported groups/versions, x25519 key
+/// share, QUIC transport parameters, optional compress_certificate.
+[[nodiscard]] bytes encode_client_hello(const client_hello_config& config,
+                                        rng& r);
+
+/// Parses the compression algorithms offered by a ClientHello built by
+/// encode_client_hello ({} when the extension is absent).
+[[nodiscard]] std::vector<compress::algorithm> parse_offered_compression(
+    bytes_view client_hello_frame);
+
+/// Encodes ServerHello: random, selected cipher, x25519 share (~123 B).
+[[nodiscard]] bytes encode_server_hello(rng& r);
+
+/// Encodes EncryptedExtensions: ALPN + QUIC transport parameters.
+[[nodiscard]] bytes encode_encrypted_extensions(rng& r);
+
+/// Encodes the Certificate message for a chain: per-certificate 3-byte
+/// length + DER + empty extensions.
+[[nodiscard]] bytes encode_certificate(const x509::chain& chain);
+
+/// Encodes a CompressedCertificate (RFC 8879 §4) wrapping the chain's
+/// Certificate message compressed with `codec`.
+[[nodiscard]] bytes encode_compressed_certificate(
+    const x509::chain& chain, const compress::codec& codec);
+
+/// Encodes CertificateVerify with a signature sized by the leaf key.
+[[nodiscard]] bytes encode_certificate_verify(x509::key_algorithm leaf_key,
+                                              rng& r);
+
+/// Encodes Finished (32-byte verify_data for SHA-256 suites).
+[[nodiscard]] bytes encode_finished(rng& r);
+
+/// The server's first flight, split by encryption level as QUIC carries
+/// it: ServerHello at the Initial level, the rest at Handshake level.
+struct server_flight {
+  bytes server_hello;                 // Initial-level CRYPTO payload
+  std::vector<bytes> handshake_msgs;  // EE, (Compressed)Cert, CV, Finished
+
+  /// Bytes of Handshake-level CRYPTO data.
+  [[nodiscard]] std::size_t handshake_crypto_size() const noexcept;
+  /// Total TLS bytes across both levels.
+  [[nodiscard]] std::size_t total_size() const noexcept;
+};
+
+/// Builds the server's first flight for `chain`. When `codec` is
+/// non-null the certificate goes out compressed (the server picked an
+/// algorithm the client offered).
+[[nodiscard]] server_flight build_server_flight(
+    const x509::chain& chain, const compress::codec* codec, rng& r);
+
+}  // namespace certquic::tls

@@ -1,0 +1,24 @@
+// Error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace certquic {
+
+/// Raised when an encoder or decoder encounters malformed or truncated
+/// input, or when an encoding constraint (e.g. value range) is violated.
+class codec_error : public std::runtime_error {
+ public:
+  explicit codec_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a simulation is configured inconsistently (unknown host,
+/// invalid parameter combination, ...). Indicates a programming error in
+/// the caller rather than bad wire data.
+class config_error : public std::logic_error {
+ public:
+  explicit config_error(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace certquic

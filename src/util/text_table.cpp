@@ -1,0 +1,88 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace certquic {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  std::size_t columns = headers_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.size());
+  }
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) {
+    measure(row);
+  }
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      out += cell;
+      if (i + 1 < columns) {
+        out.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  std::size_t underline = 0;
+  for (std::size_t i = 0; i < columns; ++i) {
+    underline += widths[i] + (i + 1 < columns ? 2 : 0);
+  }
+  out.append(underline, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string pct(double fraction, int digits) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string with_commas(long long v) {
+  const bool negative = v < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(v)
+               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) {
+    out.push_back('-');
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace certquic

@@ -1,0 +1,76 @@
+#include "x509/certificate.hpp"
+
+#include "asn1/der.hpp"
+#include "x509/oids.hpp"
+
+namespace certquic::x509 {
+
+certificate::certificate(certificate_spec spec, rng& r)
+    : spec_(std::move(spec)) {
+  // Random positive 16-byte serial, as issued by modern public CAs.
+  serial_.resize(16);
+  r.fill(serial_);
+  serial_[0] &= 0x7f;
+
+  const bytes version = asn1::context(0, asn1::encode_integer(2));  // v3
+  const bytes serial_der = asn1::encode_big_integer(serial_);
+  const bytes sig_alg_der = encode_signature_algorithm(spec_.sig_alg);
+  const bytes issuer_der = spec_.issuer.encode();
+  const bytes validity_der = asn1::sequence({
+      asn1::encode_utc_time(spec_.valid.not_before),
+      asn1::encode_utc_time(spec_.valid.not_after),
+  });
+  const bytes subject_der = spec_.subject.encode();
+  const bytes spki_der = encode_spki(spec_.key_alg, r);
+
+  std::vector<bytes> ext_ders;
+  ext_ders.reserve(spec_.extensions.size());
+  for (const auto& ext : spec_.extensions) {
+    ext_ders.push_back(ext.encode());
+    if (ext.id == oids::subject_alt_name) {
+      san_bytes_ += ext_ders.back().size();
+    }
+    if (ext.id == oids::basic_constraints) {
+      // A CA certificate encodes cA=TRUE as a non-empty constraint body.
+      is_ca_ = !ext.value.empty() && ext.value.size() > 2;
+    }
+  }
+  const bytes extensions_seq = asn1::sequence(ext_ders);
+  const bytes extensions_block = asn1::context(3, extensions_seq);
+
+  const bytes tbs = asn1::sequence({
+      version,
+      serial_der,
+      sig_alg_der,
+      issuer_der,
+      validity_der,
+      subject_der,
+      spki_der,
+      extensions_block,
+  });
+  const bytes signature_der = encode_signature_value(spec_.sig_alg, r);
+  der_ = asn1::sequence({tbs, sig_alg_der, signature_der});
+
+  sizes_.subject = subject_der.size();
+  sizes_.issuer = issuer_der.size();
+  sizes_.public_key_info = spki_der.size();
+  sizes_.extensions = extensions_seq.size();
+  sizes_.signature = signature_der.size();
+  sizes_.total = der_.size();
+}
+
+std::vector<std::string> certificate::subject_alt_names() const {
+  for (const auto& ext : spec_.extensions) {
+    if (ext.id == oids::subject_alt_name) {
+      return parse_subject_alt_name(ext);
+    }
+  }
+  return {};
+}
+
+std::string certificate::describe() const {
+  return spec_.subject.to_string() + " (" + to_string(spec_.key_alg) + ", " +
+         std::to_string(der_.size()) + "B)";
+}
+
+}  // namespace certquic::x509

@@ -1,0 +1,50 @@
+#include "x509/chain.hpp"
+
+#include "util/errors.hpp"
+
+namespace certquic::x509 {
+
+chain::chain(certificate leaf,
+             std::vector<std::shared_ptr<const certificate>> parents)
+    : leaf_(std::move(leaf)), parents_(std::move(parents)) {}
+
+const certificate& chain::leaf() const {
+  if (!leaf_) {
+    throw config_error("chain::leaf on empty chain");
+  }
+  return *leaf_;
+}
+
+std::size_t chain::wire_size() const noexcept {
+  std::size_t total = leaf_ ? leaf_->size() : 0;
+  for (const auto& parent : parents_) {
+    total += parent->size();
+  }
+  return total;
+}
+
+std::size_t chain::parent_wire_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& parent : parents_) {
+    total += parent->size();
+  }
+  return total;
+}
+
+bytes chain::concatenated_der() const {
+  bytes out;
+  out.reserve(wire_size());
+  for_each([&out](const certificate& cert) { append(out, cert.der()); });
+  return out;
+}
+
+bool chain::includes_trust_anchor() const noexcept {
+  for (const auto& parent : parents_) {
+    if (parent->self_signed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace certquic::x509

@@ -1,0 +1,144 @@
+#include "x509/key.hpp"
+
+#include "util/errors.hpp"
+#include "x509/oids.hpp"
+
+namespace certquic::x509 {
+namespace {
+
+bytes random_magnitude(std::size_t n, rng& r, bool set_top_bit) {
+  bytes out(n);
+  r.fill(out);
+  if (set_top_bit && !out.empty()) {
+    out[0] |= 0x80;
+  }
+  return out;
+}
+
+bytes encode_rsa_spki(std::size_t modulus_bytes, rng& r) {
+  const bytes modulus = random_magnitude(modulus_bytes, r, true);
+  const bytes rsa_key = asn1::sequence({
+      asn1::encode_big_integer(modulus),
+      asn1::encode_integer(65537),
+  });
+  const bytes alg = asn1::sequence({
+      asn1::encode_oid(oids::rsa_encryption),
+      asn1::encode_null(),
+  });
+  return asn1::sequence({alg, asn1::encode_bit_string(rsa_key)});
+}
+
+bytes encode_ec_spki(const asn1::oid& curve, std::size_t coord_bytes, rng& r) {
+  // Uncompressed point: 0x04 || X || Y.
+  bytes point(1 + 2 * coord_bytes);
+  point[0] = 0x04;
+  r.fill({point.data() + 1, point.size() - 1});
+  const bytes alg = asn1::sequence({
+      asn1::encode_oid(oids::ec_public_key),
+      asn1::encode_oid(curve),
+  });
+  return asn1::sequence({alg, asn1::encode_bit_string(point)});
+}
+
+bytes ecdsa_signature(std::size_t coord_bytes, rng& r) {
+  // ECDSA-Sig-Value ::= SEQUENCE { r INTEGER, s INTEGER }.
+  // Random magnitudes reproduce the real size jitter (+0/1 byte for the
+  // sign octet) of DER-encoded ECDSA signatures.
+  const bytes rv = random_magnitude(coord_bytes, r, false);
+  const bytes sv = random_magnitude(coord_bytes, r, false);
+  return asn1::sequence({
+      asn1::encode_big_integer(rv),
+      asn1::encode_big_integer(sv),
+  });
+}
+
+}  // namespace
+
+std::string to_string(key_algorithm a) {
+  switch (a) {
+    case key_algorithm::rsa_2048:
+      return "RSA-2048";
+    case key_algorithm::rsa_4096:
+      return "RSA-4096";
+    case key_algorithm::ecdsa_p256:
+      return "ECDSA-P256";
+    case key_algorithm::ecdsa_p384:
+      return "ECDSA-P384";
+  }
+  throw config_error("unknown key_algorithm");
+}
+
+std::string to_string(signature_algorithm a) {
+  switch (a) {
+    case signature_algorithm::sha256_rsa_2048:
+      return "sha256WithRSA(2048)";
+    case signature_algorithm::sha256_rsa_4096:
+      return "sha256WithRSA(4096)";
+    case signature_algorithm::ecdsa_sha256:
+      return "ecdsa-with-SHA256";
+    case signature_algorithm::ecdsa_sha384:
+      return "ecdsa-with-SHA384";
+  }
+  throw config_error("unknown signature_algorithm");
+}
+
+signature_algorithm signature_by(key_algorithm issuer_key) {
+  switch (issuer_key) {
+    case key_algorithm::rsa_2048:
+      return signature_algorithm::sha256_rsa_2048;
+    case key_algorithm::rsa_4096:
+      return signature_algorithm::sha256_rsa_4096;
+    case key_algorithm::ecdsa_p256:
+      return signature_algorithm::ecdsa_sha256;
+    case key_algorithm::ecdsa_p384:
+      return signature_algorithm::ecdsa_sha384;
+  }
+  throw config_error("unknown issuer key_algorithm");
+}
+
+bytes encode_signature_algorithm(signature_algorithm a) {
+  switch (a) {
+    case signature_algorithm::sha256_rsa_2048:
+    case signature_algorithm::sha256_rsa_4096:
+      // RSA AlgorithmIdentifiers carry an explicit NULL parameter.
+      return asn1::sequence({
+          asn1::encode_oid(oids::sha256_with_rsa),
+          asn1::encode_null(),
+      });
+    case signature_algorithm::ecdsa_sha256:
+      return asn1::sequence({asn1::encode_oid(oids::ecdsa_with_sha256)});
+    case signature_algorithm::ecdsa_sha384:
+      return asn1::sequence({asn1::encode_oid(oids::ecdsa_with_sha384)});
+  }
+  throw config_error("unknown signature_algorithm");
+}
+
+bytes encode_spki(key_algorithm a, rng& r) {
+  switch (a) {
+    case key_algorithm::rsa_2048:
+      return encode_rsa_spki(256, r);
+    case key_algorithm::rsa_4096:
+      return encode_rsa_spki(512, r);
+    case key_algorithm::ecdsa_p256:
+      return encode_ec_spki(oids::curve_p256, 32, r);
+    case key_algorithm::ecdsa_p384:
+      return encode_ec_spki(oids::curve_p384, 48, r);
+  }
+  throw config_error("unknown key_algorithm");
+}
+
+bytes encode_signature_value(signature_algorithm a, rng& r) {
+  switch (a) {
+    case signature_algorithm::sha256_rsa_2048:
+      return asn1::encode_bit_string(random_magnitude(256, r, true));
+    case signature_algorithm::sha256_rsa_4096:
+      return asn1::encode_bit_string(random_magnitude(512, r, true));
+    case signature_algorithm::ecdsa_sha256:
+      return asn1::encode_bit_string(ecdsa_signature(32, r));
+    case signature_algorithm::ecdsa_sha384:
+      return asn1::encode_bit_string(ecdsa_signature(48, r));
+  }
+  throw config_error("unknown signature_algorithm");
+}
+
+}  // namespace certquic::x509

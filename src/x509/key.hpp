@@ -1,0 +1,52 @@
+// Public key and signature algorithm modelling.
+//
+// Keys and signatures carry size-faithful synthetic material: the DER
+// layout (AlgorithmIdentifier, SubjectPublicKeyInfo, signature BIT
+// STRING) is exactly that of real certificates, while the key/signature
+// bits themselves are random. Certificate *sizes* — the quantity this
+// paper studies — are therefore accurate without implementing RSA/ECDSA.
+#pragma once
+
+#include <string>
+
+#include "asn1/der.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace certquic::x509 {
+
+/// Public key algorithm and length, the classes of Table 2 of the paper.
+enum class key_algorithm {
+  rsa_2048,
+  rsa_4096,
+  ecdsa_p256,
+  ecdsa_p384,
+};
+
+/// Signature algorithm of the issuing CA.
+enum class signature_algorithm {
+  sha256_rsa_2048,  // sha256WithRSAEncryption, 2048-bit issuer key
+  sha256_rsa_4096,  // sha256WithRSAEncryption, 4096-bit issuer key
+  ecdsa_sha256,     // ecdsa-with-SHA256 (P-256 issuer)
+  ecdsa_sha384,     // ecdsa-with-SHA384 (P-384 issuer)
+};
+
+/// Human-readable name, e.g. "RSA-2048" / "ECDSA-P256".
+[[nodiscard]] std::string to_string(key_algorithm a);
+[[nodiscard]] std::string to_string(signature_algorithm a);
+
+/// Signature algorithm naturally produced by a CA holding a key of
+/// algorithm `a` (RSA keys sign sha256WithRSA, P-384 signs ecdsa-sha384).
+[[nodiscard]] signature_algorithm signature_by(key_algorithm issuer_key);
+
+/// DER AlgorithmIdentifier for a signature algorithm.
+[[nodiscard]] bytes encode_signature_algorithm(signature_algorithm a);
+
+/// DER SubjectPublicKeyInfo with freshly synthesized key bits.
+[[nodiscard]] bytes encode_spki(key_algorithm a, rng& r);
+
+/// Synthesized signatureValue BIT STRING matching the algorithm's
+/// real-world size (RSA: modulus-sized; ECDSA: DER-encoded r/s pair).
+[[nodiscard]] bytes encode_signature_value(signature_algorithm a, rng& r);
+
+}  // namespace certquic::x509

@@ -1,0 +1,66 @@
+// Unit tests for the DNS resolver simulation.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.hpp"
+
+namespace certquic::dns {
+namespace {
+
+TEST(Resolver, DeterministicPerDomainId) {
+  const resolver r{123};
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    const resolution a = r.resolve(id);
+    const resolution b = r.resolve(id);
+    EXPECT_EQ(a.result, b.result);
+    EXPECT_EQ(a.address, b.address);
+  }
+}
+
+TEST(Resolver, DifferentSeedsChangeOutcomes) {
+  const resolver a{1};
+  const resolver b{2};
+  int differing = 0;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    differing += a.resolve(id).result != b.resolve(id).result ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Resolver, FunnelRatesMatchPaper) {
+  // §3.1 of 1M names: 866k A, 13k SERVFAIL, 9k NXDOMAIN, ~2k other.
+  const resolver r{42};
+  constexpr int kN = 40000;
+  int counts[6] = {};
+  for (std::uint64_t id = 0; id < kN; ++id) {
+    ++counts[static_cast<int>(r.resolve(id).result)];
+  }
+  EXPECT_NEAR(counts[0] / double(kN), 0.866, 0.01);   // A records
+  EXPECT_NEAR(counts[1] / double(kN), 0.110, 0.01);   // no A
+  EXPECT_NEAR(counts[2] / double(kN), 0.013, 0.004);  // SERVFAIL
+  EXPECT_NEAR(counts[3] / double(kN), 0.009, 0.004);  // NXDOMAIN
+  EXPECT_LT(counts[4] / double(kN), 0.01);            // timeout
+  EXPECT_LT(counts[5] / double(kN), 0.01);            // REFUSED
+}
+
+TEST(Resolver, ARecordsGetUsableAddresses) {
+  const resolver r{7};
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    const resolution res = r.resolve(id);
+    if (res.result == outcome::a_record) {
+      EXPECT_NE(res.address.value, 0u);
+      EXPECT_LT(res.address.value >> 24, 224u);  // not multicast
+    } else {
+      EXPECT_EQ(res.address.value, 0u);
+    }
+  }
+}
+
+TEST(Resolver, OutcomeNames) {
+  EXPECT_EQ(to_string(outcome::a_record), "A");
+  EXPECT_EQ(to_string(outcome::servfail), "SERVFAIL");
+  EXPECT_EQ(to_string(outcome::nxdomain), "NXDOMAIN");
+  EXPECT_EQ(to_string(outcome::refused), "REFUSED");
+}
+
+}  // namespace
+}  // namespace certquic::dns

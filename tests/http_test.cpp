@@ -1,0 +1,70 @@
+// Unit tests for the HTTPS certificate-collection pipeline.
+#include <gtest/gtest.h>
+
+#include "http/collector.hpp"
+
+namespace certquic::http {
+namespace {
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  static const internet::model& shared() {
+    static const internet::model m =
+        internet::model::generate({.domains = 4000, .seed = 42});
+    return m;
+  }
+};
+
+TEST_F(CollectorTest, FunnelOrderingHolds) {
+  const collector c{shared()};
+  const auto stats = c.collect_all();
+  EXPECT_EQ(stats.names_total, 4000u);
+  EXPECT_LE(stats.names_with_a_record, stats.names_total);
+  EXPECT_LE(stats.http_reachable, stats.names_with_a_record);
+  EXPECT_LE(stats.https_reachable, stats.http_reachable);
+  EXPECT_LE(stats.unique_certificates, stats.names_covered);
+  EXPECT_LE(stats.quic_capable, stats.names_covered);
+  EXPECT_GT(stats.https_reachable, 0u);
+  EXPECT_GT(stats.redirects_followed, 0u);
+}
+
+TEST_F(CollectorTest, SinkSeesEveryTlsNameOnce) {
+  const collector c{shared()};
+  std::size_t sink_calls = 0;
+  std::set<std::string> domains;
+  const auto stats = c.collect_all(
+      [&](const internet::service_record& rec, const x509::chain& chain) {
+        ++sink_calls;
+        EXPECT_TRUE(rec.serves_tls());
+        EXPECT_FALSE(chain.empty());
+        EXPECT_TRUE(domains.insert(rec.domain).second) << rec.domain;
+      });
+  EXPECT_EQ(sink_calls, stats.names_covered);
+}
+
+TEST_F(CollectorTest, RedirectResolutionTerminates) {
+  const auto& m = shared();
+  const collector c{m};
+  for (std::size_t i = 0; i < m.records().size(); ++i) {
+    if (!m.records()[i].serves_tls()) {
+      continue;
+    }
+    const std::int64_t target = c.follow_redirects(i);
+    if (target >= 0) {
+      const auto& final_rec = m.records()[static_cast<std::size_t>(target)];
+      EXPECT_TRUE(final_rec.serves_tls());
+    }
+  }
+}
+
+TEST_F(CollectorTest, CollectionIsDeterministic) {
+  const collector c{shared()};
+  const auto a = c.collect_all();
+  const auto b = c.collect_all();
+  EXPECT_EQ(a.names_covered, b.names_covered);
+  EXPECT_EQ(a.unique_certificates, b.unique_certificates);
+  EXPECT_EQ(a.redirects_followed, b.redirects_followed);
+}
+
+}  // namespace
+}  // namespace certquic::http

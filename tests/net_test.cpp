@@ -1,0 +1,195 @@
+// Unit tests for the network simulator.
+#include <gtest/gtest.h>
+
+#include "net/address.hpp"
+#include "net/simulator.hpp"
+#include "util/errors.hpp"
+
+namespace certquic::net {
+namespace {
+
+const endpoint_id kA{ipv4::of(10, 0, 0, 1), 1000};
+const endpoint_id kB{ipv4::of(10, 0, 0, 2), 443};
+const endpoint_id kSpoofed{ipv4::of(203, 0, 113, 7), 9999};
+
+bytes payload_of(std::size_t n) { return bytes(n, 0xab); }
+
+TEST(Address, ParseAndFormat) {
+  const ipv4 a = ipv4::parse("157.240.229.35");
+  EXPECT_EQ(a.to_string(), "157.240.229.35");
+  EXPECT_EQ(a.host_octet(), 35);
+  EXPECT_EQ(a.slash24().to_string(), "157.240.229.0");
+  EXPECT_EQ(a, ipv4::of(157, 240, 229, 35));
+}
+
+TEST(Address, ParseRejectsMalformed) {
+  EXPECT_THROW((void)ipv4::parse("1.2.3"), codec_error);
+  EXPECT_THROW((void)ipv4::parse("1.2.3.999"), codec_error);
+  EXPECT_THROW((void)ipv4::parse("1.2.3.4.5"), codec_error);
+  EXPECT_THROW((void)ipv4::parse("a.b.c.d"), codec_error);
+}
+
+TEST(Address, EndpointFormatting) {
+  EXPECT_EQ(kB.to_string(), "10.0.0.2:443");
+}
+
+TEST(Simulator, DeliversWithPathDelay) {
+  simulator sim;
+  time_point delivered_at = 0;
+  sim.attach(kB, [&](const datagram& d) {
+    delivered_at = sim.now();
+    EXPECT_EQ(d.src, kA);
+    EXPECT_EQ(d.payload.size(), 100u);
+  });
+  path_config path;
+  path.one_way_delay = milliseconds(25);
+  sim.set_path_to(kB, path);
+  sim.send({kA, kB, payload_of(100)});
+  sim.run();
+  EXPECT_EQ(delivered_at, milliseconds(25));
+  EXPECT_EQ(sim.stats().delivered, 1u);
+}
+
+TEST(Simulator, DropsOversizeDatagrams) {
+  simulator sim;
+  int received = 0;
+  sim.attach(kB, [&](const datagram&) { ++received; });
+  path_config path;
+  path.mtu = 1500;  // capacity 1472
+  sim.set_path_to(kB, path);
+  sim.send({kA, kB, payload_of(1472)});
+  sim.send({kA, kB, payload_of(1473)});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sim.stats().dropped_oversize, 1u);
+}
+
+TEST(Simulator, EncapsulationShrinksCapacity) {
+  // §4.1: load-balancer tunneling adds headers, so large client
+  // Initials exceed the path MTU and vanish.
+  simulator sim;
+  int received = 0;
+  sim.attach(kB, [&](const datagram&) { ++received; });
+  path_config path;
+  path.mtu = 1500;
+  path.encapsulation_overhead = 20;
+  sim.set_path_to(kB, path);
+  EXPECT_EQ(path.udp_capacity(), 1452u);
+  sim.send({kA, kB, payload_of(1452)});
+  sim.send({kA, kB, payload_of(1462)});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sim.stats().dropped_oversize, 1u);
+}
+
+TEST(Simulator, UnroutableCounted) {
+  simulator sim;
+  sim.send({kA, kB, payload_of(10)});
+  sim.run();
+  EXPECT_EQ(sim.stats().dropped_unroutable, 1u);
+}
+
+TEST(Simulator, SpoofedSourceRoutesReplyToVictim) {
+  simulator sim;
+  int server_got = 0;
+  int victim_got = 0;
+  sim.attach(kB, [&](const datagram& d) {
+    ++server_got;
+    // Reply to the (spoofed) source — the amplification reflection.
+    sim.send({kB, d.src, payload_of(300)});
+  });
+  sim.attach(kSpoofed, [&](const datagram& d) {
+    ++victim_got;
+    EXPECT_EQ(d.payload.size(), 300u);
+  });
+  sim.send({kSpoofed, kB, payload_of(100)});  // attacker spoofs
+  sim.run();
+  EXPECT_EQ(server_got, 1);
+  EXPECT_EQ(victim_got, 1);
+}
+
+TEST(Simulator, LossRateDropsRoughlyProportionally) {
+  simulator sim{1234};
+  int received = 0;
+  sim.attach(kB, [&](const datagram&) { ++received; });
+  path_config path;
+  path.loss_rate = 0.25;
+  sim.set_path_to(kB, path);
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    sim.send({kA, kB, payload_of(10)});
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / kN, 0.75, 0.03);
+  EXPECT_EQ(sim.stats().dropped_loss + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(Simulator, TimersFireInOrder) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&]() { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&]() { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(Simulator, EqualTimestampsFifo) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(5), [&]() { order.push_back(1); });
+  sim.schedule(milliseconds(5), [&]() { order.push_back(2); });
+  sim.schedule(milliseconds(5), [&]() { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersMayScheduleMoreWork) {
+  simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    if (++fired < 5) {
+      sim.schedule(milliseconds(1), chain);
+    }
+  };
+  sim.schedule(milliseconds(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(10), [&]() { ++fired; });
+  sim.schedule(milliseconds(50), [&]() { ++fired; });
+  sim.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DetachMakesEndpointUnroutable) {
+  simulator sim;
+  int received = 0;
+  sim.attach(kB, [&](const datagram&) { ++received; });
+  sim.send({kA, kB, payload_of(10)});
+  sim.run();
+  sim.detach(kB);
+  sim.send({kA, kB, payload_of(10)});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sim.stats().dropped_unroutable, 1u);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(51)), 51.0);
+}
+
+}  // namespace
+}  // namespace certquic::net

@@ -1,0 +1,165 @@
+// Unit and property tests for the stats module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace certquic::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  const summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  rng r{5};
+  summary whole;
+  summary left;
+  summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.normal(10.0, 3.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  summary a;
+  a.add(1.0);
+  a.add(3.0);
+  summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  sample_set s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(SampleSet, EmptyThrowsOnQuantile) {
+  const sample_set s;
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+  EXPECT_EQ(s.fraction_at_or_below(1.0), 0.0);
+}
+
+TEST(SampleSet, FractionQueries) {
+  sample_set s;
+  s.add_all({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(s.fraction_at_or_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(10.0), 0.0);
+}
+
+TEST(SampleSet, AddAfterQueryResorts) {
+  sample_set s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, CdfSeriesSpansRange) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(i);
+  }
+  const auto series = s.cdf_series(11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(series.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 100.0);
+  EXPECT_DOUBLE_EQ(series.back().f, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].x, series[i].x);
+    EXPECT_LT(series[i - 1].f, series[i].f);
+  }
+}
+
+TEST(SampleSet, MeanMatchesDefinition) {
+  sample_set s;
+  s.add_all({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  histogram h{0.0, 10.0, 5};
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  h.add(4.0, 2.5);  // weighted, bin 2
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW((histogram{0.0, 10.0, 0}), std::logic_error);
+  EXPECT_THROW((histogram{10.0, 0.0, 4}), std::logic_error);
+}
+
+// Property: for random corpora, quantile and fraction_at_or_below are
+// consistent inverses (F(Q(q)) >= q).
+class QuantileConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileConsistency, FractionOfQuantileCoversQ) {
+  rng r{GetParam()};
+  sample_set s;
+  for (int i = 0; i < 500; ++i) {
+    s.add(r.log_normal(5.0, 1.5));
+  }
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = s.quantile(q);
+    EXPECT_GE(s.fraction_at_or_below(x) + 1e-9, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileConsistency,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace certquic::stats

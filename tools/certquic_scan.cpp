@@ -1,0 +1,207 @@
+// certquic_scan — command-line front-end to the measurement toolkit.
+//
+// Usage:
+//   certquic_scan census   [--domains N] [--seed S] [--initial BYTES]
+//   certquic_scan sweep    [--domains N] [--seed S] [--sample N]
+//   certquic_scan compress [--domains N] [--seed S]
+//   certquic_scan spoof    [--domains N] [--seed S] [--sessions N]
+//   certquic_scan domain <name> [--domains N] [--seed S] [--initial BYTES]
+//
+// `census` classifies handshakes at one Initial size; `sweep` runs the
+// Fig. 3 size sweep; `compress` runs the §4.2 study; `spoof` runs the
+// §4.3 telescope study; `domain` probes one service in detail.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/amplification_study.hpp"
+#include "core/census.hpp"
+#include "core/compression_study.hpp"
+#include "scan/qscanner.hpp"
+#include "scan/reach.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace certquic;
+
+struct cli_options {
+  std::string command;
+  std::string domain;
+  std::size_t domains = 20000;
+  std::uint64_t seed = 42;
+  std::size_t initial = 1362;
+  std::size_t sample = 1500;
+  std::size_t sessions = 80;
+};
+
+bool parse_args(int argc, char** argv, cli_options& opt) {
+  if (argc < 2) {
+    return false;
+  }
+  opt.command = argv[1];
+  int i = 2;
+  if (opt.command == "domain") {
+    if (argc < 3) {
+      return false;
+    }
+    opt.domain = argv[2];
+    i = 3;
+  }
+  for (; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const auto value = std::strtoull(argv[i + 1], nullptr, 10);
+    if (flag == "--domains") {
+      opt.domains = value;
+    } else if (flag == "--seed") {
+      opt.seed = value;
+    } else if (flag == "--initial") {
+      opt.initial = value;
+    } else if (flag == "--sample") {
+      opt.sample = value;
+    } else if (flag == "--sessions") {
+      opt.sessions = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_census(const internet::model& m, const cli_options& opt) {
+  core::census_options copt;
+  copt.initial_size = opt.initial;
+  copt.max_services = opt.sample;
+  const auto census = core::run_census(m, copt);
+  text_table table({"class", "count", "share"});
+  for (const auto cls :
+       {scan::handshake_class::amplification,
+        scan::handshake_class::multi_rtt, scan::handshake_class::retry,
+        scan::handshake_class::one_rtt,
+        scan::handshake_class::unreachable}) {
+    table.add_row({scan::to_string(cls), std::to_string(census.count(cls)),
+                   pct(census.share(cls))});
+  }
+  std::printf("%zu services probed @ Initial=%zu\n%s", census.probed,
+              opt.initial, table.render().c_str());
+  return 0;
+}
+
+int run_sweep(const internet::model& m, const cli_options& opt) {
+  text_table table({"Initial", "Ampl", "Multi", "RETRY", "1-RTT",
+                    "unreachable"});
+  for (const std::size_t size : core::initial_size_sweep()) {
+    core::census_options copt;
+    copt.initial_size = size;
+    copt.max_services = opt.sample;
+    copt.collect_payload_details = false;
+    const auto census = core::run_census(m, copt);
+    table.add_row({std::to_string(size),
+                   pct(census.share(scan::handshake_class::amplification)),
+                   pct(census.share(scan::handshake_class::multi_rtt)),
+                   pct(census.share(scan::handshake_class::retry)),
+                   pct(census.share(scan::handshake_class::one_rtt)),
+                   pct(census.share(scan::handshake_class::unreachable))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int run_compress(const internet::model& m, const cli_options& opt) {
+  core::compression_options copt;
+  copt.max_chains = opt.sample;
+  copt.max_probes = opt.sample / 4;
+  const auto study = core::run_compression_study(m, copt);
+  std::printf("brotli median rate %.1f%% | under 3x1357: %.1f%% compressed "
+              "vs %.1f%% plain | wild mean %.1f%%\n",
+              study.synthetic_savings[0].median() * 100.0,
+              study.under_limit_compressed * 100.0,
+              study.under_limit_uncompressed * 100.0,
+              study.wild_savings.mean() * 100.0);
+  return 0;
+}
+
+int run_spoof(const internet::model& m, const cli_options& opt) {
+  const auto result = core::run_telescope_study(
+      m, {.sessions_per_provider = opt.sessions});
+  text_table table({"provider", "sessions", "median", "max"});
+  for (const auto& [provider, samples] : result.amplification) {
+    table.add_row({provider, std::to_string(samples.size()),
+                   fixed(samples.median(), 1) + "x",
+                   fixed(samples.max(), 1) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int run_domain(const internet::model& m, const cli_options& opt) {
+  for (const auto& rec : m.records()) {
+    if (rec.domain != opt.domain) {
+      continue;
+    }
+    if (!rec.serves_quic()) {
+      std::printf("%s: no QUIC service (class: %d)\n", rec.domain.c_str(),
+                  static_cast<int>(rec.svc));
+      return 0;
+    }
+    const scan::reach prober{m};
+    const auto result =
+        prober.probe(rec, {.initial_size = opt.initial,
+                           .capture_certificate = true});
+    std::printf("%s @ %s\n", rec.domain.c_str(),
+                rec.address.to_string().c_str());
+    std::printf("  class         : %s\n",
+                scan::to_string(result.cls).c_str());
+    std::printf("  sent/received : %zu / %zu bytes (first-burst ampl "
+                "%.2fx)\n",
+                result.obs.bytes_sent_total,
+                result.obs.bytes_received_total,
+                result.obs.first_burst_amplification());
+    std::printf("  cert message  : %zu bytes%s\n",
+                result.obs.certificate_msg_size,
+                result.obs.compression_used ? " (compressed)" : "");
+    const auto chain = m.chain_of(rec, internet::fetch_protocol::quic);
+    std::printf("  chain         : %zu certs, %zu bytes\n", chain.depth(),
+                chain.wire_size());
+    chain.for_each([](const x509::certificate& cert) {
+      std::printf("    %s\n", cert.describe().c_str());
+    });
+    return 0;
+  }
+  std::fprintf(stderr, "domain not found in population: %s\n",
+               opt.domain.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: certquic_scan census|sweep|compress|spoof|domain "
+                 "<name> [--domains N] [--seed S] [--initial B] "
+                 "[--sample N] [--sessions N]\n");
+    return 2;
+  }
+  const auto model = internet::model::generate(
+      {.domains = opt.domains, .seed = opt.seed});
+  if (opt.command == "census") {
+    return run_census(model, opt);
+  }
+  if (opt.command == "sweep") {
+    return run_sweep(model, opt);
+  }
+  if (opt.command == "compress") {
+    return run_compress(model, opt);
+  }
+  if (opt.command == "spoof") {
+    return run_spoof(model, opt);
+  }
+  if (opt.command == "domain") {
+    return run_domain(model, opt);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", opt.command.c_str());
+  return 2;
+}
