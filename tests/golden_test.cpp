@@ -1,0 +1,63 @@
+// Golden-file regression tests for the paper-figure bench binaries.
+//
+// Each test re-runs one bench binary on a small, fixed-seed population and
+// diffs its stdout against the reference under tests/golden/. This turns
+// the paper's figures and tables from write-only printers into enforced
+// regression checks: any change to the synthetic Internet, the certificate
+// encoder or the handshake pipeline that shifts a published number shows
+// up as a diff here.
+//
+// Regenerating after an intentional change:
+//   build/tests/golden_test --update-golden
+// (or CERTQUIC_UPDATE_GOLDEN=1 ctest -R golden_test)
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "golden.hpp"
+
+#ifndef CERTQUIC_BENCH_BIN_DIR
+#error "CERTQUIC_BENCH_BIN_DIR must point at the built bench binaries"
+#endif
+#ifndef CERTQUIC_SMOKE_ENV
+#error "CERTQUIC_SMOKE_ENV must carry the shared smoke-run knobs"
+#endif
+
+namespace certquic::test {
+namespace {
+
+// Population knobs, single-sourced from CERTQUIC_SMOKE_KNOBS in the root
+// CMakeLists so smoke runs and golden captures can never diverge. The
+// checked-in golden files must be regenerated whenever they change.
+constexpr const char* kEnv = CERTQUIC_SMOKE_ENV;
+
+void check_bench(const std::string& binary) {
+  // The binary path is quoted so a checkout under a directory with spaces
+  // still resolves; the knobs must stay unquoted words for `env`.
+  const std::string command = std::string("env ") + kEnv + " '" +
+                              CERTQUIC_BENCH_BIN_DIR "/" + binary + "'";
+  std::string out;
+  const int status = run_capture(command, out);
+  ASSERT_EQ(status, 0) << command << " exited with " << status;
+  ASSERT_FALSE(normalize_text(out).empty()) << binary << " printed nothing";
+  EXPECT_TRUE(golden_compare(binary + ".txt", out));
+}
+
+TEST(Golden, Fig02CertFieldSizes) { check_bench("fig02_cert_field_sizes"); }
+
+TEST(Golden, Fig04AmplificationCdf) { check_bench("fig04_amplification_cdf"); }
+
+TEST(Golden, Fig06ChainSizeCdf) { check_bench("fig06_chain_size_cdf"); }
+
+TEST(Golden, Tab01BrowserProfiles) { check_bench("tab01_browser_profiles"); }
+
+TEST(Golden, Tab02CryptoAlgorithms) { check_bench("tab02_crypto_algorithms"); }
+
+}  // namespace
+}  // namespace certquic::test
+
+int main(int argc, char** argv) {
+  certquic::test::parse_update_golden_flag(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

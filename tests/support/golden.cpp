@@ -1,0 +1,179 @@
+#include "golden.hpp"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#ifndef CERTQUIC_GOLDEN_DIR
+#define CERTQUIC_GOLDEN_DIR ""
+#endif
+
+namespace certquic::test {
+namespace {
+
+bool g_update_golden = false;
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+// Minimal line diff: first divergence plus a few lines of context from
+// each side. Enough to read in a CTest log without a real diff algorithm.
+std::string first_divergence(const std::string& expected,
+                             const std::string& actual) {
+  const auto exp = split_lines(expected);
+  const auto act = split_lines(actual);
+  std::size_t i = 0;
+  while (i < exp.size() && i < act.size() && exp[i] == act[i]) {
+    ++i;
+  }
+  std::ostringstream out;
+  out << "first difference at line " << (i + 1) << ":\n";
+  for (std::size_t j = i; j < std::min(exp.size(), i + 4); ++j) {
+    out << "  - " << exp[j] << "\n";
+  }
+  for (std::size_t j = i; j < std::min(act.size(), i + 4); ++j) {
+    out << "  + " << act[j] << "\n";
+  }
+  if (exp.size() != act.size()) {
+    out << "  (expected " << exp.size() << " lines, got " << act.size()
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string golden_dir() {
+  if (const char* env = std::getenv("CERTQUIC_GOLDEN_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return CERTQUIC_GOLDEN_DIR;
+}
+
+bool update_golden_requested() {
+  if (g_update_golden) {
+    return true;
+  }
+  const char* env = std::getenv("CERTQUIC_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void set_update_golden(bool enabled) { g_update_golden = enabled; }
+
+void parse_update_golden_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      set_update_golden(true);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  argc = out;
+}
+
+std::string normalize_text(std::string text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const auto& line : split_lines(text)) {
+    std::string trimmed = line;
+    while (!trimmed.empty() &&
+           (trimmed.back() == ' ' || trimmed.back() == '\t' ||
+            trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    out += trimmed;
+    out += '\n';
+  }
+  // Collapse runs of trailing blank lines to the single final newline.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' &&
+         out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  if (out == "\n") {
+    out.clear();
+  }
+  return out;
+}
+
+::testing::AssertionResult golden_compare(const std::string& name,
+                                          const std::string& actual) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(golden_dir()) / name;
+  const std::string normalized = normalize_text(actual);
+
+  if (update_golden_requested()) {
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "cannot write golden file " << path;
+    }
+    out << normalized;
+    return ::testing::AssertionSuccess() << "updated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "missing golden file " << path
+           << "\nGenerate it with: golden_test --update-golden";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = normalize_text(buf.str());
+  if (expected == normalized) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "output differs from golden file " << path << "\n"
+         << first_divergence(expected, normalized)
+         << "If the change is intentional, regenerate with: "
+            "golden_test --update-golden";
+}
+
+int run_capture(const std::string& command, std::string& out) {
+  out.clear();
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return -1;
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  if (status == -1) {
+    return -1;
+  }
+  if (!WIFEXITED(status)) {
+    // Signal death (e.g. a crash after the output was flushed) must not
+    // masquerade as exit 0.
+    return 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+  }
+  return WEXITSTATUS(status);
+}
+
+}  // namespace certquic::test

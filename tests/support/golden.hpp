@@ -1,0 +1,49 @@
+// Golden-file regression framework.
+//
+// A golden test captures a program's (or function's) text output and diffs
+// it against a checked-in reference under tests/golden/. On mismatch the
+// assertion fails with a line-level diff; running the suite with
+// `--update-golden` (or CERTQUIC_UPDATE_GOLDEN=1 in the environment)
+// rewrites the reference files instead, which is the documented
+// regeneration path after an intentional output change.
+#pragma once
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace certquic::test {
+
+/// Directory holding the checked-in golden files. Defaults to the
+/// compile-time CERTQUIC_GOLDEN_DIR (set by CMake to <repo>/tests/golden);
+/// the CERTQUIC_GOLDEN_DIR environment variable overrides it.
+[[nodiscard]] std::string golden_dir();
+
+/// True when this process should rewrite golden files instead of diffing.
+[[nodiscard]] bool update_golden_requested();
+
+/// Turns update mode on/off for this process (used by main() after
+/// scanning argv for --update-golden).
+void set_update_golden(bool enabled);
+
+/// Strips `--update-golden` out of argv (adjusting argc) and enables
+/// update mode if it was present. Call before InitGoogleTest.
+void parse_update_golden_flag(int& argc, char** argv);
+
+/// Normalizes text for stable comparison: CRLF -> LF, trailing whitespace
+/// stripped per line, exactly one trailing newline on non-empty output.
+[[nodiscard]] std::string normalize_text(std::string text);
+
+/// Compares `actual` against golden file `name` (relative to golden_dir()).
+/// In update mode, (re)writes the file and succeeds. Otherwise fails with
+/// a unified-style diff when the contents differ, and with instructions
+/// when the golden file is missing.
+[[nodiscard]] ::testing::AssertionResult golden_compare(
+    const std::string& name, const std::string& actual);
+
+/// Runs `command` under `sh -c`, captures its stdout into `out`, and
+/// returns the shell exit status (-1 when the pipe itself fails). stderr
+/// passes through so CTest logs keep diagnostics.
+[[nodiscard]] int run_capture(const std::string& command, std::string& out);
+
+}  // namespace certquic::test

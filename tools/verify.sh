@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification gate — the exact command sequence from ROADMAP.md.
+# Exits nonzero on any configure, build or test failure.
+#
+# Usage: tools/verify.sh [extra ctest args...]
+#   tools/verify.sh                 # full tier-1 + tier-2 run
+#   tools/verify.sh -L tier1        # tier-1 only
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S .
+cmake --build build -j "$jobs"
+cd build
+# ROADMAP's bare `-j` greedily eats any following argument, so pass the
+# job count explicitly to keep extra ctest args (e.g. -L tier1) working.
+ctest --output-on-failure -j "$jobs" "$@"
