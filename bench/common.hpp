@@ -32,6 +32,16 @@ inline internet::config population_config() {
   return cfg;
 }
 
+/// The process-wide population: built once from the environment knobs
+/// and shared by every experiment in the binary, so multi-study figures
+/// (and any future combined drivers) pay the generation cost once. The
+/// engine-backed studies then probe it from their sharded thread pools.
+inline const internet::model& shared_model() {
+  static const internet::model model =
+      internet::model::generate(population_config());
+  return model;
+}
+
 inline std::size_t sample_cap(std::size_t fallback) {
   return env_size("CERTQUIC_SAMPLE", fallback);
 }

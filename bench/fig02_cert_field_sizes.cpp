@@ -8,7 +8,7 @@ int main() {
   bench::header("Figure 2(b)", "X.509 certificate field size distribution");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   const auto corpus =
       core::analyze_corpus(model, {.max_services = bench::sample_cap(6000)});
 

@@ -9,7 +9,7 @@ int main() {
                 "influence of QUIC Initial sizes on the QUIC handshake");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   const std::size_t per_size = bench::sample_cap(1200);
 
   text_table table({"Initial", "Amplification", "Multi-RTT", "RETRY",

@@ -10,7 +10,7 @@ int main() {
   bench::header("Figure 5", "payload exchanged during multi-RTT handshakes");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   core::census_options opt;
   opt.initial_size = 1362;
   opt.max_services = bench::sample_cap(3000);

@@ -10,7 +10,7 @@ int main() {
                 "amplification for unanswered handshakes (telescope + scans)");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
 
   core::spoofed_options opt;
   opt.sessions_per_provider = bench::sample_cap(120);

@@ -33,7 +33,7 @@ int main() {
   bench::header("Figure 11", "Meta /24 amplification before/after disclosure");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   const std::size_t repeats = bench::sample_cap(3);
 
   print_panel("(a) before disclosure (August 2022)",

@@ -9,7 +9,7 @@ int main() {
   bench::header("Figure 12", "service deployment across rank groups");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
 
   constexpr std::size_t kGroups = internet::model::kRankGroups;
   std::array<std::size_t, kGroups> total{};

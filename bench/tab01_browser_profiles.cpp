@@ -10,7 +10,7 @@ int main() {
   bench::header("Table 1", "browser Initial sizes and compression support");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   core::compression_options opt;
   opt.max_chains = bench::sample_cap(1500);
   opt.max_probes = bench::sample_cap(400);

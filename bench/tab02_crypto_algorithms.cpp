@@ -9,7 +9,7 @@ int main() {
   bench::header("Table 2", "crypto algorithms and key lengths in use");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
   const auto corpus =
       core::analyze_corpus(model, {.max_services = bench::sample_cap(8000)});
 

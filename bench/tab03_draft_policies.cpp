@@ -9,7 +9,7 @@ int main() {
   bench::header("Table 3", "anti-amplification rules across IETF drafts");
 
   const auto cfg = bench::population_config();
-  const auto model = internet::model::generate(cfg);
+  const auto& model = bench::shared_model();
 
   text_table table({"IETF spec", "rule", "backscatter [B]", "amplification"});
   for (const auto& row : core::run_policy_study(model, "le-r3-x1cross")) {

@@ -1,5 +1,6 @@
 #include "core/amplification_study.hpp"
 
+#include "engine/engine.hpp"
 #include "net/simulator.hpp"
 #include "quic/client.hpp"
 #include "quic/server.hpp"
@@ -19,6 +20,10 @@ struct provider_fleet {
 
 telescope_result run_telescope_study(const internet::model& m,
                                      const spoofed_options& opt) {
+  // Unlike the per-record probes, every spoofed session shares one
+  // simulator (server fleets are reused across sessions and all
+  // backscatter lands on one telescope), so this study is inherently a
+  // single-simulation workload and stays off the sharded engine.
   telescope_result out;
   net::simulator sim{0x7e1e'5c0e};
   scan::telescope scope{sim, net::ipv4::of(203, 0, 113, 0)};
@@ -108,30 +113,38 @@ telescope_result run_telescope_study(const internet::model& m,
 
 std::vector<meta_probe_row> run_meta_scan(const internet::model& m,
                                           bool post_disclosure,
-                                          std::size_t repeats) {
+                                          std::size_t repeats,
+                                          const engine::options& exec) {
   std::vector<meta_probe_row> rows;
   const auto pop = m.meta_pop(post_disclosure);
   rows.reserve(pop.size());
-  for (const auto& host : pop) {
-    meta_probe_row row;
-    row.host_octet = host.address.host_octet();
-    row.services = host.services;
-    if (!host.serves_quic) {
-      rows.push_back(std::move(row));
-      continue;
-    }
-    for (std::size_t k = 0; k < repeats; ++k) {
-      // §4.3: single 1252-byte Initial, no ACK.
-      const scan::zmap_result probe =
-          scan::zmap_probe(m.meta_chain(host), m.meta_behavior(host), 1252,
-                           net::seconds(400), host.seed + k);
-      row.responded |= probe.responded;
-      row.bytes_received = probe.bytes_received;
-      row.amplification.add(probe.amplification);
-      row.duration_s = net::to_seconds(probe.backscatter_duration);
-    }
-    rows.push_back(std::move(row));
-  }
+  // One host (with its probe repeats) is one unit of work; row order
+  // follows the /24's host order regardless of shard count.
+  engine::parallel_ordered(
+      pop.size(), exec,
+      [&](std::size_t i) {
+        const internet::meta_host& host = pop[i];
+        meta_probe_row row;
+        row.host_octet = host.address.host_octet();
+        row.services = host.services;
+        if (!host.serves_quic) {
+          return row;
+        }
+        for (std::size_t k = 0; k < repeats; ++k) {
+          // §4.3: single 1252-byte Initial, no ACK.
+          const scan::zmap_result probe =
+              scan::zmap_probe(m.meta_chain(host), m.meta_behavior(host),
+                               1252, net::seconds(400), host.seed + k);
+          row.responded |= probe.responded;
+          row.bytes_received = probe.bytes_received;
+          row.amplification.add(probe.amplification);
+          row.duration_s = net::to_seconds(probe.backscatter_duration);
+        }
+        return row;
+      },
+      [&](std::size_t, meta_probe_row&& row) {
+        rows.push_back(std::move(row));
+      });
   return rows;
 }
 

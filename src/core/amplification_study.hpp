@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
@@ -41,8 +42,10 @@ struct meta_probe_row {
 };
 
 /// Active single-Initial scan of every host in the Meta PoP /24
-/// (1252-byte Initial, no ACKs — §4.3).
+/// (1252-byte Initial, no ACKs — §4.3). Hosts are probed in parallel on
+/// the engine pool; rows keep the /24's host order.
 [[nodiscard]] std::vector<meta_probe_row> run_meta_scan(
-    const internet::model& m, bool post_disclosure, std::size_t repeats = 3);
+    const internet::model& m, bool post_disclosure, std::size_t repeats = 3,
+    const engine::options& exec = {});
 
 }  // namespace certquic::core

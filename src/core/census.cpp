@@ -1,8 +1,66 @@
 #include "core/census.hpp"
 
-#include "scan/reach.hpp"
+#include "engine/engine.hpp"
 
 namespace certquic::core {
+namespace {
+
+/// Streams census probes into a census_result. Runs on the executor's
+/// caller thread in plan order, so the aggregate is bit-identical to
+/// the historical serial loop at any thread count.
+class census_aggregator final : public engine::observation_sink {
+ public:
+  census_aggregator(const internet::model& m, const census_options& opt,
+                    census_result& out)
+      : model_(m), opt_(opt), out_(out) {}
+
+  void on_record(const engine::probe_record& pr) override {
+    const scan::probe_result& probe = pr.result;
+    ++out_.probed;
+    const auto cls_idx = static_cast<std::size_t>(probe.cls);
+    ++out_.counts[cls_idx];
+    ++out_.group_counts[model_.rank_group(pr.record)][cls_idx];
+
+    if (!opt_.collect_payload_details) {
+      return;
+    }
+    const quic::observation& obs = probe.obs;
+    if (obs.handshake_complete) {
+      out_.first_burst_amplification.add(obs.first_burst_amplification());
+    }
+    switch (probe.cls) {
+      case scan::handshake_class::multi_rtt: {
+        out_.multi_rtt_payload.emplace_back(obs.bytes_received_total,
+                                            obs.tls_bytes_received);
+        if (obs.tls_bytes_received > 3 * obs.bytes_sent_first_flight) {
+          ++out_.multi_tls_exceeding_limit;
+        }
+        const std::size_t non_tls =
+            obs.bytes_received_total - obs.tls_bytes_received;
+        out_.max_non_tls_bytes = std::max(out_.max_non_tls_bytes, non_tls);
+        break;
+      }
+      case scan::handshake_class::amplification: {
+        ++out_.amplifying;
+        if (pr.record.behavior == internet::behavior_kind::cloudflare) {
+          ++out_.amplifying_cloudflare;
+          out_.cloudflare_padding.add(
+              static_cast<double>(obs.padding_bytes_first_burst));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  const internet::model& model_;
+  const census_options& opt_;
+  census_result& out_;
+};
+
+}  // namespace
 
 std::vector<std::size_t> initial_size_sweep() {
   std::vector<std::size_t> sizes;
@@ -13,71 +71,23 @@ std::vector<std::size_t> initial_size_sweep() {
   return sizes;
 }
 
-census_result run_census(const internet::model& m,
-                         const census_options& opt) {
+census_result run_census(const internet::model& m, const census_options& opt,
+                         const engine::options& exec) {
   census_result out;
   out.initial_size = opt.initial_size;
 
-  scan::reach prober{m};
-  scan::probe_options popt;
-  popt.initial_size = opt.initial_size;
+  engine::probe_variant variant;
+  variant.initial_size = opt.initial_size;
+  const engine::probe_plan plan =
+      engine::probe_plan::single(std::move(variant), opt.max_services);
 
-  // Deterministic striding sample when capped.
-  std::size_t quic_total = 0;
-  for (const auto& rec : m.records()) {
-    quic_total += rec.serves_quic() ? 1 : 0;
+  const engine::executor eng{m, exec};
+  const std::vector<std::uint32_t> sampled = eng.sample(plan);
+  if (opt.collect_payload_details) {
+    out.first_burst_amplification.reserve(sampled.size());
   }
-  const std::size_t stride =
-      opt.max_services == 0 || quic_total <= opt.max_services
-          ? 1
-          : (quic_total + opt.max_services - 1) / opt.max_services;
-
-  std::size_t quic_index = 0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_quic()) {
-      continue;
-    }
-    if (quic_index++ % stride != 0) {
-      continue;
-    }
-    const scan::probe_result probe = prober.probe(rec, popt);
-    ++out.probed;
-    const auto cls_idx = static_cast<std::size_t>(probe.cls);
-    ++out.counts[cls_idx];
-    ++out.group_counts[m.rank_group(rec)][cls_idx];
-
-    if (!opt.collect_payload_details) {
-      continue;
-    }
-    const quic::observation& obs = probe.obs;
-    if (obs.handshake_complete) {
-      out.first_burst_amplification.add(obs.first_burst_amplification());
-    }
-    switch (probe.cls) {
-      case scan::handshake_class::multi_rtt: {
-        out.multi_rtt_payload.emplace_back(obs.bytes_received_total,
-                                           obs.tls_bytes_received);
-        if (obs.tls_bytes_received > 3 * obs.bytes_sent_first_flight) {
-          ++out.multi_tls_exceeding_limit;
-        }
-        const std::size_t non_tls =
-            obs.bytes_received_total - obs.tls_bytes_received;
-        out.max_non_tls_bytes = std::max(out.max_non_tls_bytes, non_tls);
-        break;
-      }
-      case scan::handshake_class::amplification: {
-        ++out.amplifying;
-        if (rec.behavior == internet::behavior_kind::cloudflare) {
-          ++out.amplifying_cloudflare;
-          out.cloudflare_padding.add(
-              static_cast<double>(obs.padding_bytes_first_burst));
-        }
-        break;
-      }
-      default:
-        break;
-    }
-  }
+  census_aggregator aggregator{m, opt, out};
+  eng.run(plan, sampled, aggregator);
   return out;
 }
 

@@ -1,11 +1,13 @@
-// Handshake census: probes every QUIC service and aggregates the data
-// behind Figures 3, 4, 5 and 13.
+// Handshake census: an aggregator over the experiment engine that
+// probes every QUIC service and accumulates the data behind Figures 3,
+// 4, 5 and 13.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "scan/classify.hpp"
 #include "stats/cdf.hpp"
@@ -64,9 +66,12 @@ struct census_result {
   }
 };
 
-/// Runs the census at one Initial size.
+/// Runs the census at one Initial size. Probes execute on the engine's
+/// sharded thread pool (`exec`); the aggregate is bit-identical at any
+/// thread count.
 [[nodiscard]] census_result run_census(const internet::model& m,
-                                       const census_options& opt);
+                                       const census_options& opt,
+                                       const engine::options& exec = {});
 
 /// Convenience: the paper's Fig. 3 sweep, 1200..1472 in steps of 10
 /// (the last step lands on 1472, the MTU-dictated maximum).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "engine/engine.hpp"
 #include "util/hex.hpp"
 
 namespace certquic::core {
@@ -49,94 +50,98 @@ const std::array<std::string, kAlgClasses>& alg_class_names() {
 }
 
 corpus_result analyze_corpus(const internet::model& m,
-                             const corpus_options& opt) {
+                             const corpus_options& opt,
+                             const engine::options& exec) {
   corpus_result out;
 
-  std::size_t tls_total = 0;
-  for (const auto& rec : m.records()) {
-    tls_total += rec.serves_tls() ? 1 : 0;
-  }
-  const std::size_t stride =
-      opt.max_services == 0 || tls_total <= opt.max_services
-          ? 1
-          : (tls_total + opt.max_services - 1) / opt.max_services;
+  // One up-front deterministic sample (shared striding rule); chain
+  // materialization is the hot path and shards across the engine pool,
+  // while the ordered consumer below aggregates bit-identically to the
+  // old interleaved walk.
+  const std::vector<std::uint32_t> sample = engine::sample_indices(
+      m, engine::service_filter::tls, opt.max_services);
 
   std::map<std::string, profile_accumulator> quic_profiles;
   std::map<std::string, profile_accumulator> https_profiles;
   std::set<std::string> seen_nonleaf_serials[2];
   std::size_t quic_services = 0;
   std::size_t https_services = 0;
+  /// (leaf size, SAN share) per sampled QUIC service, for the Fig. 14
+  /// quadrant pass — recorded here so the corpus is walked only once.
+  std::vector<std::pair<std::size_t, double>> quic_leaves;
 
-  std::size_t tls_index = 0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_tls()) {
-      continue;
-    }
-    if (tls_index++ % stride != 0) {
-      continue;
-    }
-    const bool is_quic = rec.serves_quic();
-    (is_quic ? quic_services : https_services) += 1;
-    const x509::chain chain =
-        m.chain_of(rec, internet::fetch_protocol::https);
-    const std::size_t chain_size = chain.wire_size();
-    (is_quic ? out.quic_chain_sizes : out.https_chain_sizes)
-        .add(static_cast<double>(chain_size));
+  out.quic_chain_sizes.reserve(sample.size());
+  out.https_chain_sizes.reserve(sample.size());
 
-    // Fig. 2b field sizes across every certificate in the corpus.
-    chain.for_each([&out](const x509::certificate& cert) {
-      const auto& s = cert.sizes();
-      out.field_subject.add(static_cast<double>(s.subject));
-      out.field_issuer.add(static_cast<double>(s.issuer));
-      out.field_spki.add(static_cast<double>(s.public_key_info));
-      out.field_extensions.add(static_cast<double>(s.extensions));
-      out.field_signature.add(static_cast<double>(s.signature));
-    });
+  engine::parallel_ordered(
+      sample.size(), exec,
+      [&](std::size_t i) {
+        return m.chain_of(m.records()[sample[i]],
+                          internet::fetch_protocol::https);
+      },
+      [&](std::size_t i, x509::chain&& chain) {
+        const auto& rec = m.records()[sample[i]];
+        const bool is_quic = rec.serves_quic();
+        (is_quic ? quic_services : https_services) += 1;
+        const std::size_t chain_size = chain.wire_size();
+        (is_quic ? out.quic_chain_sizes : out.https_chain_sizes)
+            .add(static_cast<double>(chain_size));
 
-    // Fig. 8 (QUIC only): field means by chain-size and role.
-    if (is_quic) {
-      const std::size_t size_class = chain_size > 4000 ? 1 : 0;
-      account_fields(chain.leaf(), out.field_means[size_class][0]);
-      for (const auto& parent : chain.parents()) {
-        account_fields(*parent, out.field_means[size_class][1]);
-      }
-    }
+        // Fig. 2b field sizes across every certificate in the corpus.
+        chain.for_each([&out](const x509::certificate& cert) {
+          const auto& s = cert.sizes();
+          out.field_subject.add(static_cast<double>(s.subject));
+          out.field_issuer.add(static_cast<double>(s.issuer));
+          out.field_spki.add(static_cast<double>(s.public_key_info));
+          out.field_extensions.add(static_cast<double>(s.extensions));
+          out.field_signature.add(static_cast<double>(s.signature));
+        });
 
-    // Table 2: unique certificates per corpus side.
-    const std::size_t side = is_quic ? 0 : 1;
-    ++out.alg_counts[side][0][alg_index(chain.leaf().key_alg())];
-    for (const auto& parent : chain.parents()) {
-      if (seen_nonleaf_serials[side].insert(to_hex(parent->serial()))
-              .second) {
-        ++out.alg_counts[side][1][alg_index(parent->key_alg())];
-      }
-    }
-
-    // Fig. 7 accumulation for named profiles.
-    if (rec.chain_profile != "other" && rec.cruise_sans == 0) {
-      auto& acc = (is_quic ? quic_profiles
-                           : https_profiles)[rec.chain_profile];
-      if (acc.count == 0) {
-        acc.display = m.ecosystem().profile(rec.chain_profile).display;
-        for (const auto& parent : chain.parents()) {
-          acc.parent_sizes.push_back(parent->size());
+        // Fig. 8 (QUIC only): field means by chain-size and role.
+        if (is_quic) {
+          const std::size_t size_class = chain_size > 4000 ? 1 : 0;
+          account_fields(chain.leaf(), out.field_means[size_class][0]);
+          for (const auto& parent : chain.parents()) {
+            account_fields(*parent, out.field_means[size_class][1]);
+          }
         }
-      }
-      ++acc.count;
-      acc.leaf_sizes.add(static_cast<double>(chain.leaf().size()));
-    }
 
-    // Fig. 14 (QUIC leaves): SAN byte share vs leaf size.
-    if (is_quic) {
-      ++out.leaves_total;
-      const auto& leaf = chain.leaf();
-      const double share = leaf.size() == 0
-                               ? 0.0
-                               : static_cast<double>(leaf.san_bytes()) /
-                                     static_cast<double>(leaf.size());
-      out.san_shares.add(share);
-    }
-  }
+        // Table 2: unique certificates per corpus side.
+        const std::size_t side = is_quic ? 0 : 1;
+        ++out.alg_counts[side][0][alg_index(chain.leaf().key_alg())];
+        for (const auto& parent : chain.parents()) {
+          if (seen_nonleaf_serials[side].insert(to_hex(parent->serial()))
+                  .second) {
+            ++out.alg_counts[side][1][alg_index(parent->key_alg())];
+          }
+        }
+
+        // Fig. 7 accumulation for named profiles.
+        if (rec.chain_profile != "other" && rec.cruise_sans == 0) {
+          auto& acc = (is_quic ? quic_profiles
+                               : https_profiles)[rec.chain_profile];
+          if (acc.count == 0) {
+            acc.display = m.ecosystem().profile(rec.chain_profile).display;
+            for (const auto& parent : chain.parents()) {
+              acc.parent_sizes.push_back(parent->size());
+            }
+          }
+          ++acc.count;
+          acc.leaf_sizes.add(static_cast<double>(chain.leaf().size()));
+        }
+
+        // Fig. 14 (QUIC leaves): SAN byte share vs leaf size.
+        if (is_quic) {
+          ++out.leaves_total;
+          const auto& leaf = chain.leaf();
+          const double share = leaf.size() == 0
+                                   ? 0.0
+                                   : static_cast<double>(leaf.san_bytes()) /
+                                         static_cast<double>(leaf.size());
+          out.san_shares.add(share);
+          quic_leaves.emplace_back(leaf.size(), share);
+        }
+  });
 
   // "35% of all certificate chains exceed even the larger of the two
   // common amplification limits (3x1357)".
@@ -190,26 +195,11 @@ corpus_result analyze_corpus(const internet::model& m,
   if (!out.san_shares.empty()) {
     out.san_share_p99 = out.san_shares.quantile(0.99);
   }
-  // Second pass over the recorded samples is avoided by re-deriving the
-  // quadrants from the stored shares and sizes: the corpus is re-walked
-  // cheaply through the same deterministic sample.
-  tls_index = 0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_tls()) {
-      continue;
-    }
-    if (tls_index++ % stride != 0 || !rec.serves_quic()) {
-      continue;
-    }
-    const x509::chain chain =
-        m.chain_of(rec, internet::fetch_protocol::https);
-    const auto& leaf = chain.leaf();
-    const double share = leaf.size() == 0
-                             ? 0.0
-                             : static_cast<double>(leaf.san_bytes()) /
-                                   static_cast<double>(leaf.size());
+  // The quadrants are re-derived from the leaf sizes and shares stored
+  // during the single corpus walk — no second materialization pass.
+  for (const auto& [leaf_size, share] : quic_leaves) {
     const bool high = share >= out.san_share_p99;
-    const bool large = leaf.size() > 3 * 1357;
+    const bool large = leaf_size > 3 * 1357;
     if (large && high) {
       ++out.quadrant_large_high;
     } else if (large) {

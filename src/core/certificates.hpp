@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
@@ -70,7 +71,8 @@ struct corpus_result {
 };
 
 [[nodiscard]] corpus_result analyze_corpus(const internet::model& m,
-                                           const corpus_options& opt);
+                                           const corpus_options& opt,
+                                           const engine::options& exec = {});
 
 /// Display names for the Table 2 algorithm classes.
 [[nodiscard]] const std::array<std::string, kAlgClasses>& alg_class_names();

@@ -1,12 +1,59 @@
 #include "core/compression_study.hpp"
 
-#include "scan/reach.hpp"
+#include "engine/engine.hpp"
 #include "tls/handshake.hpp"
 
 namespace certquic::core {
+namespace {
+
+constexpr double kLimit = 3.0 * 1357.0;
+
+/// Per-chain synthetic compression outcome, computed on the pool.
+struct chain_compression {
+  std::size_t plain_size = 0;
+  std::array<std::size_t, 3> compressed_size{};  // brotli/zlib/zstd
+};
+
+/// Streams compression-offering probes into the "in the wild" rates.
+class wild_aggregator final : public engine::observation_sink {
+ public:
+  explicit wild_aggregator(compression_result& out) : out_(out) {}
+
+  void on_record(const engine::probe_record& pr) override {
+    ++probed_;
+    brotli_support_ += pr.record.supports_brotli ? 1 : 0;
+    all_support_ += pr.record.supports_all_algorithms ? 1 : 0;
+    const quic::observation& obs = pr.result.obs;
+    if (obs.handshake_complete && obs.compression_used &&
+        obs.certificate_uncompressed_size > 0) {
+      out_.wild_savings.add(
+          1.0 - static_cast<double>(obs.certificate_msg_size) /
+                    static_cast<double>(obs.certificate_uncompressed_size));
+    }
+  }
+
+  void finish() const {
+    if (probed_ == 0) {
+      return;
+    }
+    out_.support_brotli = static_cast<double>(brotli_support_) /
+                          static_cast<double>(probed_);
+    out_.support_all_three = static_cast<double>(all_support_) /
+                             static_cast<double>(probed_);
+  }
+
+ private:
+  compression_result& out_;
+  std::size_t probed_ = 0;
+  std::size_t brotli_support_ = 0;
+  std::size_t all_support_ = 0;
+};
+
+}  // namespace
 
 compression_result run_compression_study(const internet::model& m,
-                                         const compression_options& opt) {
+                                         const compression_options& opt,
+                                         const engine::options& exec) {
   compression_result out;
   const bytes& dict = m.compression_dictionary();
   const compress::codec codecs[3] = {
@@ -16,45 +63,48 @@ compression_result run_compression_study(const internet::model& m,
   };
 
   // ---- Synthetic experiment over collected chains -----------------------
-  std::size_t tls_total = 0;
-  for (const auto& rec : m.records()) {
-    tls_total += rec.serves_tls() ? 1 : 0;
-  }
-  const std::size_t stride =
-      opt.max_chains == 0 || tls_total <= opt.max_chains
-          ? 1
-          : (tls_total + opt.max_chains - 1) / opt.max_chains;
+  // One up-front deterministic sample, then chain materialization and
+  // compression sharded across the pool; the ordered consumer keeps the
+  // aggregates bit-identical to the serial walk.
+  const std::vector<std::uint32_t> chain_sample = engine::sample_indices(
+      m, engine::service_filter::tls, opt.max_chains);
 
   std::size_t under_limit = 0;
   std::size_t under_limit_plain = 0;
   std::size_t chains = 0;
-  std::size_t tls_index = 0;
-  constexpr double kLimit = 3.0 * 1357.0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_tls()) {
-      continue;
-    }
-    if (tls_index++ % stride != 0) {
-      continue;
-    }
-    const x509::chain chain =
-        m.chain_of(rec, internet::fetch_protocol::https);
-    const bytes cert_msg = tls::encode_certificate(chain);
-    ++chains;
-    under_limit_plain +=
-        static_cast<double>(cert_msg.size()) <= kLimit ? 1 : 0;
-    for (int a = 0; a < 3; ++a) {
-      const bytes compressed = codecs[a].compress(cert_msg);
-      const double saving =
-          1.0 - static_cast<double>(compressed.size()) /
-                    static_cast<double>(cert_msg.size());
-      out.synthetic_savings[static_cast<std::size_t>(a)].add(saving);
-      if (a == 0) {
-        under_limit +=
-            static_cast<double>(compressed.size()) <= kLimit ? 1 : 0;
-      }
-    }
+  for (auto& savings : out.synthetic_savings) {
+    savings.reserve(chain_sample.size());
   }
+  engine::parallel_ordered(
+      chain_sample.size(), exec,
+      [&](std::size_t i) {
+        const auto& rec = m.records()[chain_sample[i]];
+        const bytes cert_msg = tls::encode_certificate(
+            m.chain_of(rec, internet::fetch_protocol::https));
+        chain_compression result;
+        result.plain_size = cert_msg.size();
+        for (int a = 0; a < 3; ++a) {
+          result.compressed_size[static_cast<std::size_t>(a)] =
+              codecs[a].compress(cert_msg).size();
+        }
+        return result;
+      },
+      [&](std::size_t, chain_compression&& result) {
+        ++chains;
+        under_limit_plain +=
+            static_cast<double>(result.plain_size) <= kLimit ? 1 : 0;
+        for (std::size_t a = 0; a < 3; ++a) {
+          const double saving =
+              1.0 - static_cast<double>(result.compressed_size[a]) /
+                        static_cast<double>(result.plain_size);
+          out.synthetic_savings[a].add(saving);
+          if (a == 0) {
+            under_limit +=
+                static_cast<double>(result.compressed_size[a]) <= kLimit ? 1
+                                                                         : 0;
+          }
+        }
+      });
   if (chains > 0) {
     out.under_limit_compressed =
         static_cast<double>(under_limit) / static_cast<double>(chains);
@@ -63,49 +113,16 @@ compression_result run_compression_study(const internet::model& m,
   }
 
   // ---- In-the-wild probe: offer all three algorithms --------------------
-  scan::reach prober{m};
-  scan::probe_options popt;
-  popt.initial_size = 1250;  // Chromium-like client (Table 1)
-  popt.offer_compression = {compress::algorithm::brotli,
-                            compress::algorithm::zlib,
-                            compress::algorithm::zstd};
-  std::size_t quic_total = 0;
-  for (const auto& rec : m.records()) {
-    quic_total += rec.serves_quic() ? 1 : 0;
-  }
-  const std::size_t probe_stride =
-      opt.max_probes == 0 || quic_total <= opt.max_probes
-          ? 1
-          : (quic_total + opt.max_probes - 1) / opt.max_probes;
-  std::size_t probed = 0;
-  std::size_t brotli_support = 0;
-  std::size_t all_support = 0;
-  std::size_t quic_index = 0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_quic()) {
-      continue;
-    }
-    if (quic_index++ % probe_stride != 0) {
-      continue;
-    }
-    ++probed;
-    brotli_support += rec.supports_brotli ? 1 : 0;
-    all_support += rec.supports_all_algorithms ? 1 : 0;
-    const scan::probe_result probe = prober.probe(rec, popt);
-    const quic::observation& obs = probe.obs;
-    if (obs.handshake_complete && obs.compression_used &&
-        obs.certificate_uncompressed_size > 0) {
-      out.wild_savings.add(
-          1.0 - static_cast<double>(obs.certificate_msg_size) /
-                    static_cast<double>(obs.certificate_uncompressed_size));
-    }
-  }
-  if (probed > 0) {
-    out.support_brotli =
-        static_cast<double>(brotli_support) / static_cast<double>(probed);
-    out.support_all_three =
-        static_cast<double>(all_support) / static_cast<double>(probed);
-  }
+  engine::probe_variant variant;
+  variant.initial_size = 1250;  // Chromium-like client (Table 1)
+  variant.offer_compression = {compress::algorithm::brotli,
+                               compress::algorithm::zlib,
+                               compress::algorithm::zstd};
+  const engine::probe_plan plan =
+      engine::probe_plan::single(std::move(variant), opt.max_probes);
+  wild_aggregator aggregator{out};
+  engine::executor{m, exec}.run(plan, aggregator);
+  aggregator.finish();
   return out;
 }
 

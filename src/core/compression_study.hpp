@@ -6,6 +6,7 @@
 #include <array>
 
 #include "compress/codec.hpp"
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "stats/cdf.hpp"
 
@@ -36,6 +37,7 @@ struct compression_result {
 };
 
 [[nodiscard]] compression_result run_compression_study(
-    const internet::model& m, const compression_options& opt);
+    const internet::model& m, const compression_options& opt,
+    const engine::options& exec = {});
 
 }  // namespace certquic::core

@@ -1,11 +1,21 @@
 #include "core/funnel.hpp"
 
+#include "engine/engine.hpp"
 #include "scan/qscanner.hpp"
 
 namespace certquic::core {
+namespace {
 
-funnel_result run_funnel(const internet::model& m,
-                         const funnel_options& opt) {
+/// Outcome of one consistency cross-check (QUIC fetch vs HTTPS chain).
+struct consistency_check {
+  bool fetched = false;
+  bool same_leaf = false;
+};
+
+}  // namespace
+
+funnel_result run_funnel(const internet::model& m, const funnel_options& opt,
+                         const engine::options& exec) {
   funnel_result out;
   out.domains = m.records().size();
   for (const auto& rec : m.records()) {
@@ -16,30 +26,31 @@ funnel_result run_funnel(const internet::model& m,
   const http::collector collector{m};
   out.collection = collector.collect_all();
 
-  // QScanner cross-check: fetch over QUIC, compare against HTTPS.
-  scan::qscanner qs{m};
-  std::size_t quic_total = out.quic_services;
-  const std::size_t stride =
-      opt.consistency_sample == 0 || quic_total <= opt.consistency_sample
-          ? 1
-          : (quic_total + opt.consistency_sample - 1) /
-                opt.consistency_sample;
-  std::size_t quic_index = 0;
-  for (const auto& rec : m.records()) {
-    if (!rec.serves_quic()) {
-      continue;
-    }
-    if (quic_index++ % stride != 0) {
-      continue;
-    }
-    const scan::qscan_result fetched = qs.fetch(rec);
-    if (!fetched.ok) {
-      continue;
-    }
-    ++out.consistency_checked;
-    out.consistency_same +=
-        qs.leaf_matches_https(m, rec, fetched) ? 1 : 0;
-  }
+  // QScanner cross-check: fetch over QUIC, compare against HTTPS. The
+  // whole check — probe, Certificate-message parse and the HTTPS chain
+  // re-materialization — is deterministic per record, so it all runs
+  // on the engine pool; only two counters aggregate serially.
+  const scan::qscanner qs{m};
+  const std::vector<std::uint32_t> sampled = engine::sample_indices(
+      m, engine::service_filter::quic, opt.consistency_sample);
+  engine::parallel_ordered(
+      sampled.size(), exec,
+      [&](std::size_t i) {
+        const auto& rec = m.records()[sampled[i]];
+        const scan::qscan_result fetched = qs.fetch(rec);
+        consistency_check check;
+        check.fetched = fetched.ok;
+        check.same_leaf =
+            fetched.ok && qs.leaf_matches_https(m, rec, fetched);
+        return check;
+      },
+      [&](std::size_t, consistency_check&& check) {
+        if (!check.fetched) {
+          return;
+        }
+        ++out.consistency_checked;
+        out.consistency_same += check.same_leaf ? 1 : 0;
+      });
   return out;
 }
 

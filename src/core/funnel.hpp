@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 
+#include "engine/engine.hpp"
 #include "http/collector.hpp"
 #include "internet/model.hpp"
 
@@ -36,6 +37,7 @@ struct funnel_options {
 };
 
 [[nodiscard]] funnel_result run_funnel(const internet::model& m,
-                                       const funnel_options& opt);
+                                       const funnel_options& opt,
+                                       const engine::options& exec = {});
 
 }  // namespace certquic::core

@@ -1,11 +1,13 @@
 #include "core/policy_study.hpp"
 
+#include "engine/engine.hpp"
 #include "scan/zmap.hpp"
 
 namespace certquic::core {
 
-std::vector<policy_row> run_policy_study(
-    const internet::model& m, const std::string& chain_profile_id) {
+std::vector<policy_row> run_policy_study(const internet::model& m,
+                                         const std::string& chain_profile_id,
+                                         const engine::options& exec) {
   struct policy_spec {
     quic::amplification_policy policy;
     const char* spec;
@@ -25,27 +27,33 @@ std::vector<policy_row> run_policy_study(
   };
 
   std::vector<policy_row> rows;
+  rows.reserve(std::size(kSpecs));
   const auto& eco = m.ecosystem();
-  for (const auto& spec : kSpecs) {
-    // A typical non-coalescing deployment makes the policies maximally
-    // distinguishable (packet- and datagram-count rules then bite).
-    quic::server_behavior behavior =
-        quic::server_behavior::standard_no_coalesce();
-    behavior.policy = spec.policy;
-    behavior.max_retransmissions = 2;  // same loss-recovery everywhere
-    rng issue{0x7ab1e3};
-    const scan::zmap_result probe = scan::zmap_probe(
-        eco.issue(eco.profile(chain_profile_id), "policy.example", issue),
-        behavior, 1200, net::seconds(30), 0xdeed);
-    policy_row row;
-    row.policy = spec.policy;
-    row.spec = spec.spec;
-    row.rule = spec.rule;
-    row.bytes_sent = probe.bytes_sent;
-    row.bytes_received = probe.bytes_received;
-    row.amplification = probe.amplification;
-    rows.push_back(std::move(row));
-  }
+  engine::parallel_ordered(
+      std::size(kSpecs), exec,
+      [&](std::size_t i) {
+        const policy_spec& spec = kSpecs[i];
+        // A typical non-coalescing deployment makes the policies
+        // maximally distinguishable (packet- and datagram-count rules
+        // then bite).
+        quic::server_behavior behavior =
+            quic::server_behavior::standard_no_coalesce();
+        behavior.policy = spec.policy;
+        behavior.max_retransmissions = 2;  // same loss-recovery everywhere
+        rng issue{0x7ab1e3};
+        const scan::zmap_result probe = scan::zmap_probe(
+            eco.issue(eco.profile(chain_profile_id), "policy.example", issue),
+            behavior, 1200, net::seconds(30), 0xdeed);
+        policy_row row;
+        row.policy = spec.policy;
+        row.spec = spec.spec;
+        row.rule = spec.rule;
+        row.bytes_sent = probe.bytes_sent;
+        row.bytes_received = probe.bytes_received;
+        row.amplification = probe.amplification;
+        return row;
+      },
+      [&](std::size_t, policy_row&& row) { rows.push_back(std::move(row)); });
   return rows;
 }
 

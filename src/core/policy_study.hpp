@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "quic/behavior.hpp"
 
@@ -22,8 +23,10 @@ struct policy_row {
 };
 
 /// Probes one representative chain under every policy with an
-/// unacknowledged 1200-byte Initial.
+/// unacknowledged 1200-byte Initial; policies run in parallel on the
+/// engine pool.
 [[nodiscard]] std::vector<policy_row> run_policy_study(
-    const internet::model& m, const std::string& chain_profile_id);
+    const internet::model& m, const std::string& chain_profile_id,
+    const engine::options& exec = {});
 
 }  // namespace certquic::core

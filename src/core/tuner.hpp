@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "engine/engine.hpp"
 #include "internet/model.hpp"
 
 namespace certquic::internet {
@@ -31,6 +32,11 @@ class initial_size_tuner {
   /// range; kMinInitial for unknown servers.
   [[nodiscard]] std::size_t recommend(const std::string& domain) const;
 
+  /// The recommendation arithmetic for a known flight size (shared with
+  /// the engine-sharded study, which keeps no cross-thread cache).
+  [[nodiscard]] static std::size_t recommend_for(
+      std::size_t server_flight_bytes);
+
   [[nodiscard]] bool knows(const std::string& domain) const {
     return cache_.contains(domain);
   }
@@ -50,7 +56,9 @@ struct tuner_result {
 
 /// Runs the two-visit experiment: first contact with minimum-size
 /// Initials (populating the cache), second contact with tuned sizes.
+/// Each service's visit pair is an independent job on the engine pool.
 [[nodiscard]] tuner_result run_tuner_study(const internet::model& m,
-                                           std::size_t max_services);
+                                           std::size_t max_services,
+                                           const engine::options& exec = {});
 
 }  // namespace certquic::core

@@ -1,0 +1,89 @@
+// Declarative probe plans: a deterministic service sample crossed with
+// client-configuration variants (Initial size, compression offers, ACK
+// behaviour, certificate capture). A plan says *what* to measure; the
+// executor (engine.hpp) decides how to shard it across threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "internet/model.hpp"
+#include "net/time.hpp"
+#include "scan/reach.hpp"
+
+namespace certquic::engine {
+
+/// Which service records of the population a plan covers.
+enum class service_filter : std::uint8_t {
+  quic,  // records with svc == service_class::quic
+  tls,   // QUIC + HTTPS-only records
+  all,   // every record
+};
+
+/// Deterministic up-front sampling shared by every study: walks the
+/// population once and returns the record indices selected by the
+/// historical striding rule (every `stride`-th matching record, where
+/// stride = ceil(matching / cap)). cap == 0 selects every match.
+///
+/// Taking the sample once — instead of interleaving the stride test
+/// with the record walk in each study — is what lets the executor shard
+/// the plan while keeping the probed set and its order bit-identical to
+/// the old serial loops.
+[[nodiscard]] std::vector<std::uint32_t> sample_indices(
+    const internet::model& m, service_filter filter, std::size_t cap);
+
+/// One client-configuration point of the plan's cross product.
+struct probe_variant {
+  std::size_t initial_size = 1362;
+  /// Algorithms offered via compress_certificate (empty = quicreach).
+  std::vector<compress::algorithm> offer_compression;
+  /// False imitates an adversary: never acknowledge anything.
+  bool send_acks = true;
+  /// Retain the raw Certificate message (QScanner mode).
+  bool capture_certificate = false;
+  /// Observation deadline override; unset keeps the client default.
+  std::optional<net::duration> timeout;
+  /// Stream separator mixed into the per-probe seed so repeated visits
+  /// of the same service draw independent randomness. Salt 0 under a
+  /// zero base seed preserves the historical record-derived seeding.
+  std::uint64_t salt = 0;
+
+  /// The scan-layer options this variant resolves to (seed filled in by
+  /// the executor).
+  [[nodiscard]] scan::probe_options to_probe_options() const;
+};
+
+/// A full plan: sample spec x variant list. The executor enumerates the
+/// cross product variant-major (all services under variants[0], then
+/// variants[1], ...), matching how the old per-study loops nested.
+struct probe_plan {
+  service_filter filter = service_filter::quic;
+  /// 0 = probe every matching service; otherwise the deterministic
+  /// striding sample above.
+  std::size_t max_services = 0;
+  /// At least one variant; single() builds the common one-variant plan.
+  std::vector<probe_variant> variants;
+  /// Base seed of the per-probe seeding hash(base_seed, domain, salt).
+  /// 0 (with salt 0) keeps the historical record-derived simulator
+  /// seeds, which the golden figures are captured under.
+  std::uint64_t base_seed = 0;
+
+  [[nodiscard]] static probe_plan single(probe_variant v,
+                                         std::size_t max_services = 0,
+                                         service_filter f =
+                                             service_filter::quic);
+
+  /// Appends one variant per Initial size (e.g. the Fig. 3 sweep).
+  probe_plan& sweep_initial_sizes(const std::vector<std::size_t>& sizes);
+};
+
+/// Per-probe deterministic seed: identical regardless of shard count or
+/// execution order. Returns 0 — "derive from the record seed as the
+/// serial scanners always did" — when base_seed and salt are both 0.
+[[nodiscard]] std::uint64_t probe_seed(std::uint64_t base_seed,
+                                       const std::string& domain,
+                                       std::uint64_t salt);
+
+}  // namespace certquic::engine

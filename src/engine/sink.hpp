@@ -1,0 +1,49 @@
+// Streaming consumer interface for probe results. The executor delivers
+// records to the sink strictly in plan order (variant-major, then the
+// sampled service order) on the caller's thread, so aggregators need no
+// locking and parallel runs aggregate bit-identically to serial ones.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/probe_plan.hpp"
+#include "internet/model.hpp"
+#include "scan/reach.hpp"
+
+namespace certquic::engine {
+
+/// One delivered probe. References stay valid only for the duration of
+/// the on_record() call (the record and variant live in the model and
+/// plan respectively; the result is owned by the executor's buffer).
+struct probe_record {
+  std::uint32_t service_index = 0;  // index into model.records()
+  std::uint32_t variant_index = 0;  // index into plan.variants
+  const internet::service_record& record;
+  const probe_variant& variant;
+  const scan::probe_result& result;
+};
+
+/// Aggregator interface: every study is one of these.
+class observation_sink {
+ public:
+  virtual ~observation_sink() = default;
+  /// Called once per probe, in plan order, on the executor's caller
+  /// thread.
+  virtual void on_record(const probe_record& rec) = 0;
+};
+
+/// Adapter turning a callable into a sink, for one-off consumers.
+template <typename Fn>
+class callback_sink final : public observation_sink {
+ public:
+  explicit callback_sink(Fn fn) : fn_(std::move(fn)) {}
+  void on_record(const probe_record& rec) override { fn_(rec); }
+
+ private:
+  Fn fn_;
+};
+
+template <typename Fn>
+callback_sink(Fn) -> callback_sink<Fn>;
+
+}  // namespace certquic::engine

@@ -21,7 +21,7 @@ struct client_config {
   std::size_t initial_size = 1362;
   /// Algorithms offered in compress_certificate; empty mirrors
   /// quicreach's stack (no compression support).
-  std::vector<compress::algorithm> offer_compression;
+  std::vector<compress::algorithm> offer_compression{};
   /// False imitates an adversary / ZMap probe: never ACK, never answer.
   bool send_acks = true;
   std::string sni = "example.org";
@@ -29,7 +29,7 @@ struct client_config {
   net::duration timeout = net::seconds(3);
   /// When set, the first flight is stamped with this source address
   /// (IP spoofing); responses then route to whoever owns it.
-  std::optional<net::endpoint_id> spoof_source;
+  std::optional<net::endpoint_id> spoof_source{};
   /// Retain the raw (Compressed)Certificate message bytes in the
   /// observation (QScanner mode, §3.2).
   bool capture_certificate = false;

@@ -30,15 +30,17 @@ qscan_result qscanner::fetch(const internet::service_record& rec) const {
   probe_options opt;
   opt.initial_size = 1362;
   opt.capture_certificate = true;
-  const probe_result probe = reach_.probe(rec, opt);
+  return parse(reach_.probe(rec, opt).obs);
+}
 
+qscan_result qscanner::parse(const quic::observation& obs) {
   qscan_result out;
-  if (!probe.obs.handshake_complete || probe.obs.certificate_message.empty()) {
+  if (!obs.handshake_complete || obs.certificate_message.empty()) {
     return out;
   }
   // Parse the Certificate message: context(1) + list length(3) +
   // entries of 3-byte length + DER + 2-byte extensions.
-  buffer_reader r{probe.obs.certificate_message};
+  buffer_reader r{obs.certificate_message};
   r.skip(4);  // handshake frame header
   r.skip(1);  // certificate_request_context
   const std::uint32_t list_len = r.u24();

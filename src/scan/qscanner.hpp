@@ -31,6 +31,11 @@ class qscanner {
   /// Fetches and parses the chain served over QUIC.
   [[nodiscard]] qscan_result fetch(const internet::service_record& rec) const;
 
+  /// Parses a captured Certificate message out of a finished probe
+  /// observation (capture_certificate mode). Lets engine-driven scans
+  /// reuse the probe result instead of re-running the handshake.
+  [[nodiscard]] static qscan_result parse(const quic::observation& obs);
+
   /// Compares the leaf served over QUIC against the one served over
   /// HTTPS (the §3.2 sanitization: 96.7% identical).
   [[nodiscard]] bool leaf_matches_https(const internet::model& m,

@@ -12,7 +12,9 @@ probe_result reach::probe(const internet::service_record& rec,
   if (!rec.serves_quic()) {
     throw config_error("reach::probe on non-QUIC service " + rec.domain);
   }
-  net::simulator sim{rec.seed ^ 0x5ca7};
+  const std::uint64_t seed =
+      opt.seed_override != 0 ? opt.seed_override : rec.seed;
+  net::simulator sim{seed ^ 0x5ca7};
 
   const net::endpoint_id server_ep{rec.address, 443};
   const net::endpoint_id client_ep{net::ipv4::of(10, 99, 0, 1), 40443};
@@ -28,15 +30,19 @@ probe_result reach::probe(const internet::service_record& rec,
                    model_.chain_of(rec, internet::fetch_protocol::quic),
                    model_.behavior_of(rec),
                    model_.compression_dictionary(),
-                   rec.seed ^ 0x5e4};
+                   seed ^ 0x5e4};
 
   quic::client_config config;
   config.initial_size = opt.initial_size;
   config.offer_compression = opt.offer_compression;
   config.sni = rec.domain;
   config.capture_certificate = opt.capture_certificate;
+  config.send_acks = opt.send_acks;
+  if (opt.timeout) {
+    config.timeout = *opt.timeout;
+  }
   quic::client cli{sim, client_ep, server_ep, std::move(config),
-                   rec.seed ^ 0xC11};
+                   seed ^ 0xC11};
   cli.start();
   sim.run();
 

@@ -2,9 +2,12 @@
 // per probe, with configurable Initial size, and classifies the result.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "internet/model.hpp"
+#include "net/time.hpp"
 #include "scan/classify.hpp"
 
 namespace certquic::scan {
@@ -14,9 +17,17 @@ struct probe_options {
   std::size_t initial_size = 1362;
   /// Algorithms offered via compress_certificate; quicreach's stack
   /// offers none (§3.2) — the compression probe offers all three.
-  std::vector<compress::algorithm> offer_compression;
+  std::vector<compress::algorithm> offer_compression{};
   /// QScanner mode: retain the raw certificate message.
   bool capture_certificate = false;
+  /// False imitates an adversary / ZMap probe: never acknowledge.
+  bool send_acks = true;
+  /// Observation deadline; unset keeps the client default.
+  std::optional<net::duration> timeout{};
+  /// Non-zero replaces the record-derived simulator seeding with an
+  /// engine-supplied per-probe seed (engine::probe_seed); 0 preserves
+  /// the historical seeds the golden figures are captured under.
+  std::uint64_t seed_override = 0;
 };
 
 /// One probe's result.

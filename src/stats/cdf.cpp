@@ -19,6 +19,8 @@ void sample_set::add_all(const std::vector<double>& xs) {
   sorted_ = false;
 }
 
+void sample_set::reserve(std::size_t n) { samples_.reserve(n); }
+
 void sample_set::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -24,6 +24,10 @@ class sample_set {
   void add(double x);
   /// Adds many observations.
   void add_all(const std::vector<double>& xs);
+  /// Pre-allocates capacity for `n` total samples; hot aggregation
+  /// paths call this once with the planned probe count so large sweeps
+  /// do not pay reallocation churn per add().
+  void reserve(std::size_t n);
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }

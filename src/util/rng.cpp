@@ -6,6 +6,12 @@
 namespace certquic {
 namespace {
 
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
 std::uint64_t splitmix64(std::uint64_t& x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = x;
@@ -13,12 +19,6 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 rng::rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;

@@ -15,6 +15,11 @@
 
 namespace certquic {
 
+/// One splitmix64 step: advances `x` and returns the mixed output.
+/// The seeding/mixing primitive shared by `rng` construction, stream
+/// forking, and the engine's per-probe seed derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+
 /// xoshiro256** PRNG seeded through splitmix64.
 ///
 /// Small, fast and with well-understood statistical quality; good enough

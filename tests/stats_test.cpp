@@ -121,6 +121,19 @@ TEST(SampleSet, MeanMatchesDefinition) {
   EXPECT_DOUBLE_EQ(s.mean(), 4.0);
 }
 
+TEST(SampleSet, ReserveKeepsQueriesIntact) {
+  sample_set s;
+  s.reserve(1000);
+  EXPECT_TRUE(s.empty());
+  s.add(3.0);
+  s.add(1.0);
+  s.reserve(2000);  // reserve after adds must not disturb samples
+  s.add(2.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
 TEST(Histogram, BinningAndClamping) {
   histogram h{0.0, 10.0, 5};
   h.add(0.5);    // bin 0

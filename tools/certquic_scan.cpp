@@ -7,6 +7,10 @@
 //   certquic_scan spoof    [--domains N] [--seed S] [--sessions N]
 //   certquic_scan domain <name> [--domains N] [--seed S] [--initial BYTES]
 //
+// Every engine-backed subcommand accepts --threads N (0 = default:
+// $CERTQUIC_THREADS, else all hardware threads); results are
+// bit-identical at any thread count.
+//
 // `census` classifies handshakes at one Initial size; `sweep` runs the
 // Fig. 3 size sweep; `compress` runs the §4.2 study; `spoof` runs the
 // §4.3 telescope study; `domain` probes one service in detail.
@@ -17,6 +21,7 @@
 #include "core/amplification_study.hpp"
 #include "core/census.hpp"
 #include "core/compression_study.hpp"
+#include "engine/engine.hpp"
 #include "scan/qscanner.hpp"
 #include "scan/reach.hpp"
 #include "util/text_table.hpp"
@@ -33,6 +38,9 @@ struct cli_options {
   std::size_t initial = 1362;
   std::size_t sample = 1500;
   std::size_t sessions = 80;
+  std::size_t threads = 0;  // 0 = engine default
+
+  [[nodiscard]] engine::options exec() const { return {.threads = threads}; }
 };
 
 bool parse_args(int argc, char** argv, cli_options& opt) {
@@ -61,6 +69,8 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
       opt.sample = value;
     } else if (flag == "--sessions") {
       opt.sessions = value;
+    } else if (flag == "--threads") {
+      opt.threads = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -73,7 +83,7 @@ int run_census(const internet::model& m, const cli_options& opt) {
   core::census_options copt;
   copt.initial_size = opt.initial;
   copt.max_services = opt.sample;
-  const auto census = core::run_census(m, copt);
+  const auto census = core::run_census(m, copt, opt.exec());
   text_table table({"class", "count", "share"});
   for (const auto cls :
        {scan::handshake_class::amplification,
@@ -96,7 +106,7 @@ int run_sweep(const internet::model& m, const cli_options& opt) {
     copt.initial_size = size;
     copt.max_services = opt.sample;
     copt.collect_payload_details = false;
-    const auto census = core::run_census(m, copt);
+    const auto census = core::run_census(m, copt, opt.exec());
     table.add_row({std::to_string(size),
                    pct(census.share(scan::handshake_class::amplification)),
                    pct(census.share(scan::handshake_class::multi_rtt)),
@@ -112,7 +122,7 @@ int run_compress(const internet::model& m, const cli_options& opt) {
   core::compression_options copt;
   copt.max_chains = opt.sample;
   copt.max_probes = opt.sample / 4;
-  const auto study = core::run_compression_study(m, copt);
+  const auto study = core::run_compression_study(m, copt, opt.exec());
   std::printf("brotli median rate %.1f%% | under 3x1357: %.1f%% compressed "
               "vs %.1f%% plain | wild mean %.1f%%\n",
               study.synthetic_savings[0].median() * 100.0,
@@ -182,7 +192,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: certquic_scan census|sweep|compress|spoof|domain "
                  "<name> [--domains N] [--seed S] [--initial B] "
-                 "[--sample N] [--sessions N]\n");
+                 "[--sample N] [--sessions N] [--threads N]\n");
     return 2;
   }
   const auto model = internet::model::generate(

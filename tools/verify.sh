@@ -2,19 +2,64 @@
 # Tier-1 verification gate — the exact command sequence from ROADMAP.md.
 # Exits nonzero on any configure, build or test failure.
 #
-# Usage: tools/verify.sh [extra ctest args...]
+# Usage: tools/verify.sh [--threads N] [extra ctest args...]
 #   tools/verify.sh                 # full tier-1 + tier-2 run
 #   tools/verify.sh -L tier1        # tier-1 only
+#   tools/verify.sh --threads 8     # engine-determinism gate: runs tier-1
+#                                   # twice (CERTQUIC_THREADS=1 and =N) and
+#                                   # diffs the golden bench outputs between
+#                                   # the serial and parallel engine runs
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
+
+engine_threads=""
+if [ "${1:-}" = "--threads" ]; then
+  engine_threads=${2:?--threads needs a value}
+  shift 2
+fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S .
 cmake --build build -j "$jobs"
 cd build
-# ROADMAP's bare `-j` greedily eats any following argument, so pass the
-# job count explicitly to keep extra ctest args (e.g. -L tier1) working.
-ctest --output-on-failure -j "$jobs" "$@"
+
+if [ -z "$engine_threads" ]; then
+  # ROADMAP's bare `-j` greedily eats any following argument, so pass the
+  # job count explicitly to keep extra ctest args (e.g. -L tier1) working.
+  ctest --output-on-failure -j "$jobs" "$@"
+  exit 0
+fi
+
+# --threads N: the engine-determinism gate. Tier-1 must pass with the
+# serial engine and with N worker threads, and the five golden bench
+# binaries must print byte-identical output under both settings.
+for t in 1 "$engine_threads"; do
+  echo "== tier-1 with CERTQUIC_THREADS=$t =="
+  CERTQUIC_THREADS=$t ctest --output-on-failure -j "$jobs" -L tier1 "$@"
+done
+
+# Same knobs as CERTQUIC_SMOKE_KNOBS in the root CMakeLists (the values
+# the checked-in goldens are captured with).
+smoke_env="CERTQUIC_DOMAINS=2000 CERTQUIC_SEED=42 CERTQUIC_SAMPLE=200"
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+status=0
+for bin in fig02_cert_field_sizes fig04_amplification_cdf \
+           fig06_chain_size_cdf tab01_browser_profiles \
+           tab02_crypto_algorithms; do
+  env $smoke_env CERTQUIC_THREADS=1 "./bench/$bin" \
+    > "$out_dir/$bin.serial.txt"
+  env $smoke_env CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
+    > "$out_dir/$bin.parallel.txt"
+  if cmp -s "$out_dir/$bin.serial.txt" "$out_dir/$bin.parallel.txt"; then
+    echo "OK   $bin: serial == $engine_threads-thread output"
+  else
+    echo "FAIL $bin: output differs between 1 and $engine_threads threads"
+    diff -u "$out_dir/$bin.serial.txt" "$out_dir/$bin.parallel.txt" || true
+    status=1
+  fi
+done
+exit "$status"
