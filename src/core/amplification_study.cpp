@@ -1,11 +1,10 @@
 #include "core/amplification_study.hpp"
 
-#include "engine/engine.hpp"
-#include "net/simulator.hpp"
-#include "quic/client.hpp"
-#include "quic/server.hpp"
-#include "scan/telescope.hpp"
+#include <algorithm>
+
+#include "engine/backend.hpp"
 #include "scan/zmap.hpp"
+#include "util/rng.hpp"
 
 namespace certquic::core {
 namespace {
@@ -16,17 +15,29 @@ struct provider_fleet {
   net::ipv4 prefix;
 };
 
+constexpr std::uint64_t kTelescopeSeed = 0xa77ac;
+
+/// Per-session stream separator: pure function of the session's
+/// position in the plan, so shard worlds never share randomness.
+std::uint64_t session_seed(std::size_t index) {
+  std::uint64_t state = kTelescopeSeed ^
+                        (0x9e37'79b9'7f4a'7c15ULL * (index + 1));
+  const std::uint64_t seed = splitmix64(state);
+  return seed == 0 ? 1 : seed;
+}
+
 }  // namespace
 
-telescope_result run_telescope_study(const internet::model& m,
-                                     const spoofed_options& opt) {
-  // Unlike the per-record probes, every spoofed session shares one
-  // simulator (server fleets are reused across sessions and all
-  // backscatter lands on one telescope), so this study is inherently a
-  // single-simulation workload and stays off the sharded engine.
-  telescope_result out;
-  net::simulator sim{0x7e1e'5c0e};
-  scan::telescope scope{sim, net::ipv4::of(203, 0, 113, 0)};
+engine::backscatter_plan build_telescope_plan(const internet::model& m,
+                                              const spoofed_options& opt) {
+  engine::backscatter_plan plan;
+  plan.base_seed = kTelescopeSeed;
+  // 10 per-provider session triples share one simulator + telescope
+  // world. Part of the plan: it fixes which sessions coexist, so the
+  // aggregates are identical at any thread count.
+  plan.sessions_per_shard = 30;
+  plan.telescope_base = net::ipv4::of(203, 0, 113, 0);
+  plan.dictionary = m.compression_dictionary();
 
   const provider_fleet fleets[] = {
       {"Cloudflare", net::ipv4::of(104, 16, 1, 0)},
@@ -34,80 +45,92 @@ telescope_result run_telescope_study(const internet::model& m,
       {"Meta", net::ipv4::of(157, 240, 229, 0)},
   };
   for (const auto& fleet : fleets) {
-    scope.map_prefix(fleet.prefix, fleet.name);
+    plan.provider_prefixes.emplace_back(fleet.prefix, fleet.name);
   }
 
-  rng r{0xa77ac};
-  std::vector<std::unique_ptr<quic::server>> servers;
-  std::vector<std::unique_ptr<quic::client>> attackers;
+  // Backscatter at real telescopes is dominated by the heavily
+  // retransmitting instagram/whatsapp infrastructure (§4.3: median
+  // session ~51 s); bias the attacked Meta hosts accordingly.
+  const auto pop = m.meta_pop(/*post_disclosure=*/false);
+  std::vector<const internet::meta_host*> deep;
+  std::vector<const internet::meta_host*> shallow;
+  for (const auto& host : pop) {
+    if (!host.serves_quic) {
+      continue;
+    }
+    (host.retransmissions >= 5 ? deep : shallow).push_back(&host);
+  }
 
-  // Cloudflare & Google fleets: one server per session (distinct hosts).
-  auto spawn = [&](const provider_fleet& fleet, x509::chain chain,
-                   const quic::server_behavior& behavior,
-                   const std::string& sni, std::size_t index) {
-    const net::endpoint_id server_ep{
+  const auto& eco = m.ecosystem();
+  plan.sessions.reserve(3 * opt.sessions_per_provider);
+  const auto add = [&](const provider_fleet& fleet, x509::chain chain,
+                       const quic::server_behavior& behavior,
+                       const std::string& sni, std::size_t index) {
+    engine::spoofed_session session;
+    // Fleet slots wrap every 200 sessions so host octets stay inside
+    // the /24. A reused slot only shares a server (and its chain) with
+    // the colliding session when both land in the same shard world;
+    // across shards each world spawns its own instance on first touch.
+    session.server = net::endpoint_id{
         net::ipv4{fleet.prefix.value |
                   static_cast<std::uint32_t>(1 + index % 200)},
         443};
-    if (index < 200) {  // servers are reused across sessions beyond that
-      servers.push_back(std::make_unique<quic::server>(
-          sim, server_ep, std::move(chain), behavior,
-          m.compression_dictionary(), r.next()));
-    }
-    quic::client_config config;
-    config.initial_size = opt.assumed_initial;
-    config.send_acks = false;
-    config.sni = sni;
-    config.timeout = net::seconds(400);
-    config.spoof_source = scope.allocate_sensor();
-    const net::endpoint_id attacker_ep{net::ipv4::of(10, 66, 0, 1),
-                                       static_cast<std::uint16_t>(
-                                           10000 + attackers.size())};
-    attackers.push_back(std::make_unique<quic::client>(
-        sim, attacker_ep, server_ep, std::move(config), r.next()));
-    attackers.back()->start();
+    session.chain = std::move(chain);
+    session.behavior = behavior;
+    session.sni = sni;
+    session.initial_size = opt.assumed_initial;
+    session.timeout = net::seconds(400);
+    session.seed = session_seed(plan.sessions.size());
+    plan.sessions.push_back(std::move(session));
   };
 
-  const auto& eco = m.ecosystem();
   for (std::size_t i = 0; i < opt.sessions_per_provider; ++i) {
-    rng issue{r.next()};
-    spawn(fleets[0],
-          eco.issue(eco.profile("cloudflare"),
-                    "cf-" + std::to_string(i) + ".example", issue),
-          quic::server_behavior::cloudflare(), "site.example", i);
-    spawn(fleets[1],
-          eco.issue(eco.profile("gts-1c3"),
-                    "g-" + std::to_string(i) + ".example", issue),
-          quic::server_behavior::google(), "google.example", i);
-    const auto pop = m.meta_pop(/*post_disclosure=*/false);
-    // Backscatter at real telescopes is dominated by the heavily
-    // retransmitting instagram/whatsapp infrastructure (§4.3: median
-    // session ~51 s); bias the attacked hosts accordingly.
-    std::vector<const internet::meta_host*> deep;
-    std::vector<const internet::meta_host*> shallow;
-    for (const auto& host : pop) {
-      if (!host.serves_quic) {
-        continue;
-      }
-      (host.retransmissions >= 5 ? deep : shallow).push_back(&host);
-    }
+    rng issue{session_seed(plan.sessions.size()) ^ 0x155eULL};
+    add(fleets[0],
+        eco.issue(eco.profile("cloudflare"),
+                  "cf-" + std::to_string(i) + ".example", issue),
+        quic::server_behavior::cloudflare(), "site.example", i);
+    add(fleets[1],
+        eco.issue(eco.profile("gts-1c3"), "g-" + std::to_string(i) + ".example",
+                  issue),
+        quic::server_behavior::google(), "google.example", i);
     const bool pick_deep = !deep.empty() && (i % 4 != 0 || shallow.empty());
     const auto& pool = pick_deep ? deep : shallow;
     const internet::meta_host& host = *pool[i % pool.size()];
-    spawn(fleets[2], m.meta_chain(host), m.meta_behavior(host), host.sni, i);
+    add(fleets[2], m.meta_chain(host), m.meta_behavior(host), host.sni, i);
   }
-  sim.run();
+  return plan;
+}
 
-  for (const auto& session : scope.sessions()) {
-    const double factor = static_cast<double>(session.bytes) /
-                          static_cast<double>(opt.assumed_initial);
-    out.amplification[session.provider].add(factor);
-    if (session.provider == "Meta") {
-      out.meta_session_duration_s.add(net::to_seconds(session.duration()));
-      out.meta_max_amplification =
-          std::max(out.meta_max_amplification, factor);
-    }
-  }
+telescope_result run_telescope_study(const internet::model& m,
+                                     const spoofed_options& opt,
+                                     const engine::options& exec) {
+  telescope_result out;
+  out.meta_session_duration_s.reserve(opt.sessions_per_provider);
+
+  const engine::backscatter_backend backend{build_telescope_plan(m, opt)};
+  engine::run_backend(
+      backend, exec, [&](std::size_t, engine::unit_outcome&& outcome) {
+        const scan::backscatter_session& session = outcome.backscatter;
+        if (session.datagrams == 0) {
+          return;  // the spoofed Initial elicited nothing
+        }
+        const double factor = static_cast<double>(session.bytes) /
+                              static_cast<double>(opt.assumed_initial);
+        // Providers appear only once observed (a silent fleet prints no
+        // row); reserve on the first observation.
+        stats::sample_set& samples = out.amplification[session.provider];
+        if (samples.empty()) {
+          samples.reserve(opt.sessions_per_provider);
+        }
+        samples.add(factor);
+        if (session.provider == "Meta") {
+          out.meta_session_duration_s.add(
+              net::to_seconds(session.duration()));
+          out.meta_max_amplification =
+              std::max(out.meta_max_amplification, factor);
+        }
+      });
   return out;
 }
 

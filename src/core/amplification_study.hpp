@@ -1,11 +1,16 @@
 // Spoofed-handshake amplification studies (§4.3): telescope backscatter
 // per hypergiant (Fig. 9) and the active Meta /24 scans (Fig. 11).
+// Both run on the experiment engine — the telescope pass as a
+// backscatter_backend whose shard worlds each host one simulator and
+// telescope shared by a fixed slice of sessions, so its aggregates are
+// bit-identical at any thread count.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "engine/backend.hpp"
 #include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "stats/cdf.hpp"
@@ -28,8 +33,18 @@ struct telescope_result {
   double meta_max_amplification = 0.0;
 };
 
-[[nodiscard]] telescope_result run_telescope_study(
+/// The spoofed-session plan behind the telescope study: hypergiant
+/// fleets plus the biased Meta host mix, with per-session seeds that
+/// are pure functions of the session index. Exposed for tests and for
+/// callers composing their own backscatter sweeps.
+[[nodiscard]] engine::backscatter_plan build_telescope_plan(
     const internet::model& m, const spoofed_options& opt);
+
+/// Runs the telescope study on the engine's backscatter backend;
+/// parallel by default, bit-identical at any thread count.
+[[nodiscard]] telescope_result run_telescope_study(
+    const internet::model& m, const spoofed_options& opt,
+    const engine::options& exec = {});
 
 /// One row of the Meta /24 active scan (Fig. 11, §4.3 groups).
 struct meta_probe_row {

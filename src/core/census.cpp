@@ -14,6 +14,13 @@ class census_aggregator final : public engine::observation_sink {
                     census_result& out)
       : model_(m), opt_(opt), out_(out) {}
 
+  void on_begin(const engine::probe_plan& plan,
+                std::size_t sampled) override {
+    if (opt_.collect_payload_details) {
+      out_.first_burst_amplification.reserve(sampled * plan.variants.size());
+    }
+  }
+
   void on_record(const engine::probe_record& pr) override {
     const scan::probe_result& probe = pr.result;
     ++out_.probed;
@@ -81,13 +88,58 @@ census_result run_census(const internet::model& m, const census_options& opt,
   const engine::probe_plan plan =
       engine::probe_plan::single(std::move(variant), opt.max_services);
 
-  const engine::executor eng{m, exec};
-  const std::vector<std::uint32_t> sampled = eng.sample(plan);
-  if (opt.collect_payload_details) {
-    out.first_burst_amplification.reserve(sampled.size());
-  }
   census_aggregator aggregator{m, opt, out};
-  eng.run(plan, sampled, aggregator);
+  engine::executor{m, exec}.run(plan, aggregator);
+  return out;
+}
+
+namespace {
+
+/// Streams the 3-variant ACK-policy sweep into per-policy slices; one
+/// on_record dispatch keyed by variant index, no locking (plan order).
+class ack_sweep_aggregator final : public engine::observation_sink {
+ public:
+  explicit ack_sweep_aggregator(ack_sweep_result& out) : out_(out) {}
+
+  void on_begin(const engine::probe_plan& plan,
+                std::size_t sampled) override {
+    out_.slices.resize(plan.variants.size());
+    for (std::size_t v = 0; v < plan.variants.size(); ++v) {
+      out_.slices[v].policy = plan.variants[v].ack;
+      out_.slices[v].handshake_ms.reserve(sampled);
+    }
+  }
+
+  void on_record(const engine::probe_record& pr) override {
+    ack_census_slice& slice = out_.slices[pr.variant_index];
+    ++slice.probed;
+    ++slice.counts[static_cast<std::size_t>(pr.result.cls)];
+    const quic::observation& obs = pr.result.obs;
+    if (obs.handshake_complete) {
+      slice.handshake_ms.add(
+          static_cast<double>(obs.complete_time - obs.start_time) / 1000.0);
+    }
+  }
+
+ private:
+  ack_sweep_result& out_;
+};
+
+}  // namespace
+
+ack_sweep_result run_ack_sweep(const internet::model& m,
+                               std::size_t max_services,
+                               const engine::options& exec) {
+  // Base seed and salt stay zero: every variant probes a service under
+  // its historical record-derived randomness, so the three policies
+  // form matched pairs and their deltas isolate the client behaviour.
+  engine::probe_plan plan;
+  plan.max_services = max_services;
+  plan.sweep_ack_policies();
+
+  ack_sweep_result out;
+  ack_sweep_aggregator aggregator{out};
+  engine::executor{m, exec}.run(plan, aggregator);
   return out;
 }
 

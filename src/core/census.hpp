@@ -77,4 +77,41 @@ struct census_result {
 /// (the last step lands on 1472, the MTU-dictated maximum).
 [[nodiscard]] std::vector<std::size_t> initial_size_sweep();
 
+/// One ACK-policy slice of the ReACKed-QUICer sweep: class counts and
+/// handshake completion times under a single client ACK behaviour.
+struct ack_census_slice {
+  quic::ack_policy policy = quic::ack_policy::delayed;
+  std::size_t probed = 0;
+  std::array<std::size_t, kClassCount> counts{};
+  /// Completion time (ms) of every completed handshake.
+  stats::sample_set handshake_ms;
+
+  [[nodiscard]] std::size_t count(scan::handshake_class c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::size_t completed() const {
+    return handshake_ms.size();
+  }
+};
+
+/// Output of the client-behaviour sweep (delayed / instant / none).
+struct ack_sweep_result {
+  std::vector<ack_census_slice> slices;  // plan variant order
+
+  /// Class-count delta of `slice` relative to the delayed baseline.
+  [[nodiscard]] long long class_delta(std::size_t slice,
+                                      scan::handshake_class c) const {
+    return static_cast<long long>(slices[slice].count(c)) -
+           static_cast<long long>(slices[0].count(c));
+  }
+};
+
+/// Sweeps the client ACK-policy axis over the census population: the
+/// same services, matched per-probe randomness, three client
+/// behaviours. Reports per-class deltas and completion-time shifts
+/// (the "ReACKed QUICer" scenario).
+[[nodiscard]] ack_sweep_result run_ack_sweep(
+    const internet::model& m, std::size_t max_services,
+    const engine::options& exec = {});
+
 }  // namespace certquic::core

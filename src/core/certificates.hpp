@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "internet/chain_cache.hpp"
 #include "internet/model.hpp"
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
@@ -19,6 +20,10 @@ inline constexpr std::size_t kAlgClasses = 4;  // RSA2048/RSA4096/EC256/EC384
 struct corpus_options {
   /// 0 = analyse every TLS service; otherwise a deterministic sample.
   std::size_t max_services = 0;
+  /// Optional shared materialization cache: combined drivers that also
+  /// run the compression study over the same TLS sample pass one cache
+  /// so each chain is issued exactly once across both studies.
+  const internet::chain_cache* chains = nullptr;
 };
 
 /// One Fig. 7 row, measured from the corpus.

@@ -19,6 +19,11 @@ class wild_aggregator final : public engine::observation_sink {
  public:
   explicit wild_aggregator(compression_result& out) : out_(out) {}
 
+  void on_begin(const engine::probe_plan& plan,
+                std::size_t sampled) override {
+    out_.wild_savings.reserve(sampled * plan.variants.size());
+  }
+
   void on_record(const engine::probe_record& pr) override {
     ++probed_;
     brotli_support_ += pr.record.supports_brotli ? 1 : 0;
@@ -79,8 +84,8 @@ compression_result run_compression_study(const internet::model& m,
       chain_sample.size(), exec,
       [&](std::size_t i) {
         const auto& rec = m.records()[chain_sample[i]];
-        const bytes cert_msg = tls::encode_certificate(
-            m.chain_of(rec, internet::fetch_protocol::https));
+        const bytes cert_msg = tls::encode_certificate(internet::fetch_chain(
+            m, opt.chains, rec, internet::fetch_protocol::https));
         chain_compression result;
         result.plain_size = cert_msg.size();
         for (int a = 0; a < 3; ++a) {

@@ -1,7 +1,7 @@
 #include "core/policy_study.hpp"
 
-#include "engine/engine.hpp"
-#include "scan/zmap.hpp"
+#include "engine/backend.hpp"
+#include "util/rng.hpp"
 
 namespace certquic::core {
 
@@ -26,34 +26,60 @@ std::vector<policy_row> run_policy_study(const internet::model& m,
        "<= 3x bytes received before validation"},
   };
 
+  // The ZMap imitation as a backscatter plan: one unacknowledged
+  // 1200-byte Initial per policy, each probe in its own isolated world
+  // (sessions_per_shard = 1) so the policies cannot interact. The same
+  // chain is re-issued for every policy from a fixed stream, keeping
+  // the ablation a pure policy comparison.
+  engine::backscatter_plan plan;
+  plan.base_seed = 0xdeed;
+  plan.sessions_per_shard = 1;
+  plan.telescope_base = net::ipv4::of(203, 0, 113, 0);
+  plan.provider_prefixes.emplace_back(net::ipv4::of(198, 51, 100, 0),
+                                      "policy");
+  const auto& eco = m.ecosystem();
+  std::uint64_t stream = plan.base_seed;
+  plan.sessions.reserve(std::size(kSpecs));
+  for (std::size_t i = 0; i < std::size(kSpecs); ++i) {
+    // A typical non-coalescing deployment makes the policies maximally
+    // distinguishable (packet- and datagram-count rules then bite).
+    quic::server_behavior behavior =
+        quic::server_behavior::standard_no_coalesce();
+    behavior.policy = kSpecs[i].policy;
+    behavior.max_retransmissions = 2;  // same loss-recovery everywhere
+    rng issue{0x7ab1e3};
+    engine::spoofed_session session;
+    session.server = net::endpoint_id{
+        net::ipv4::of(198, 51, 100, static_cast<std::uint8_t>(1 + i)), 443};
+    session.chain =
+        eco.issue(eco.profile(chain_profile_id), "policy.example", issue);
+    session.behavior = behavior;
+    session.sni = "policy.example";
+    session.initial_size = 1200;
+    session.timeout = net::seconds(30);
+    session.seed = splitmix64(stream);
+    plan.sessions.push_back(std::move(session));
+  }
+
   std::vector<policy_row> rows;
   rows.reserve(std::size(kSpecs));
-  const auto& eco = m.ecosystem();
-  engine::parallel_ordered(
-      std::size(kSpecs), exec,
-      [&](std::size_t i) {
+  const engine::backscatter_backend backend{std::move(plan)};
+  engine::run_backend(
+      backend, exec, [&](std::size_t i, engine::unit_outcome&& outcome) {
         const policy_spec& spec = kSpecs[i];
-        // A typical non-coalescing deployment makes the policies
-        // maximally distinguishable (packet- and datagram-count rules
-        // then bite).
-        quic::server_behavior behavior =
-            quic::server_behavior::standard_no_coalesce();
-        behavior.policy = spec.policy;
-        behavior.max_retransmissions = 2;  // same loss-recovery everywhere
-        rng issue{0x7ab1e3};
-        const scan::zmap_result probe = scan::zmap_probe(
-            eco.issue(eco.profile(chain_profile_id), "policy.example", issue),
-            behavior, 1200, net::seconds(30), 0xdeed);
         policy_row row;
         row.policy = spec.policy;
         row.spec = spec.spec;
         row.rule = spec.rule;
-        row.bytes_sent = probe.bytes_sent;
-        row.bytes_received = probe.bytes_received;
-        row.amplification = probe.amplification;
-        return row;
-      },
-      [&](std::size_t, policy_row&& row) { rows.push_back(std::move(row)); });
+        row.bytes_sent = outcome.probe.obs.bytes_sent_first_flight;
+        row.bytes_received = outcome.backscatter.bytes;
+        row.amplification =
+            row.bytes_sent == 0
+                ? 0.0
+                : static_cast<double>(row.bytes_received) /
+                      static_cast<double>(row.bytes_sent);
+        rows.push_back(std::move(row));
+      });
   return rows;
 }
 

@@ -43,7 +43,11 @@ tuner_result run_tuner_study(const internet::model& m,
                              std::size_t max_services,
                              const engine::options& exec) {
   tuner_result out;
-  const scan::reach prober{m};
+  // Both visits of a service serve the same chain: memoize the
+  // materialization so the repeat visit re-simulates the handshake but
+  // not the issuance. Pure memoization — results are bit-identical.
+  const internet::chain_cache chains{m};
+  const scan::reach prober{m, &chains};
 
   // The second visit's Initial size depends on the first visit of the
   // *same* service only, so each service's visit pair is an independent

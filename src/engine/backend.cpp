@@ -1,0 +1,111 @@
+#include "engine/backend.hpp"
+
+#include <memory>
+#include <unordered_set>
+
+#include "net/simulator.hpp"
+#include "quic/client.hpp"
+#include "quic/server.hpp"
+#include "util/rng.hpp"
+
+namespace certquic::engine {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::size_t shard_index) {
+  std::uint64_t state = base_seed ^ (0x9e37'79b9'7f4a'7c15ULL +
+                                     static_cast<std::uint64_t>(shard_index));
+  const std::uint64_t seed = splitmix64(state);
+  return seed == 0 ? 1 : seed;
+}
+
+// ---------------------------------------------------------------------------
+// reach_backend
+
+reach_backend::reach_backend(const internet::model& m, const probe_plan& plan,
+                             const std::vector<std::uint32_t>& sampled)
+    : model_(m),
+      plan_(plan),
+      sampled_(sampled),
+      cache_(plan.variants.size() > 1
+                 ? std::optional<internet::chain_cache>{std::in_place, m}
+                 : std::nullopt),
+      prober_(m, cache_ ? &*cache_ : nullptr) {}
+
+std::vector<unit_outcome> reach_backend::run_shard(
+    const shard_context& ctx) const {
+  const std::size_t services = sampled_.size();
+  std::vector<unit_outcome> out;
+  out.reserve(ctx.hi - ctx.lo);
+  for (std::size_t k = ctx.lo; k < ctx.hi; ++k) {
+    const auto& variant = plan_.variants[k / services];
+    const auto& rec = model_.records()[sampled_[k % services]];
+    scan::probe_options popt = variant.to_probe_options();
+    popt.seed_override = probe_seed(plan_.base_seed, rec.domain, variant.salt);
+    unit_outcome outcome;
+    outcome.probe = prober_.probe(rec, popt);
+    out.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// backscatter_backend
+
+std::vector<unit_outcome> backscatter_backend::run_shard(
+    const shard_context& ctx) const {
+  // One world per shard: a simulator and a telescope shared by the
+  // shard's slice of sessions. Everything seeded below is a pure
+  // function of the plan and the shard index, so the world's evolution
+  // cannot depend on which thread runs it.
+  net::simulator sim{ctx.seed ^ 0x7e1e'5c0eULL};
+  scan::telescope scope{sim, plan_.telescope_base};
+  for (const auto& [prefix, provider] : plan_.provider_prefixes) {
+    scope.map_prefix(prefix, provider);
+  }
+
+  std::vector<std::unique_ptr<quic::server>> servers;
+  std::vector<std::unique_ptr<quic::client>> attackers;
+  std::vector<net::endpoint_id> sensors;
+  std::unordered_set<net::endpoint_id> spawned;
+  attackers.reserve(ctx.hi - ctx.lo);
+  sensors.reserve(ctx.hi - ctx.lo);
+
+  for (std::size_t i = ctx.lo; i < ctx.hi; ++i) {
+    const spoofed_session& session = plan_.sessions[i];
+    // Fleet endpoints may repeat across sessions (slot reuse); the
+    // first session touching an endpoint in this world spawns its
+    // server, later ones attack the existing instance.
+    if (spawned.insert(session.server).second) {
+      servers.push_back(std::make_unique<quic::server>(
+          sim, session.server, session.chain, session.behavior,
+          plan_.dictionary, session.seed ^ 0x5e4));
+    }
+    quic::client_config config;
+    config.initial_size = session.initial_size;
+    config.send_acks = false;  // spoofed: replies route to the sensor
+    config.sni = session.sni;
+    config.timeout = session.timeout;
+    config.spoof_source = scope.allocate_sensor();
+    sensors.push_back(*config.spoof_source);
+    const net::endpoint_id attacker_ep{
+        net::ipv4::of(10, 66, 0, 1),
+        static_cast<std::uint16_t>(10000 + (i - ctx.lo))};
+    attackers.push_back(std::make_unique<quic::client>(
+        sim, attacker_ep, session.server, std::move(config),
+        session.seed ^ 0xC11));
+    attackers.back()->start();
+  }
+  sim.run();
+
+  std::vector<unit_outcome> out;
+  out.reserve(ctx.hi - ctx.lo);
+  for (std::size_t j = 0; j < attackers.size(); ++j) {
+    unit_outcome outcome;
+    outcome.probe.obs = attackers[j]->result();
+    outcome.probe.cls = scan::classify(outcome.probe.obs);
+    outcome.backscatter = scope.observed_at(sensors[j]);
+    out.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+}  // namespace certquic::engine

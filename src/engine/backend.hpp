@@ -1,0 +1,214 @@
+// Pluggable execution backends for the experiment engine.
+//
+// A probe_backend owns *world construction*: how simulators, servers
+// and telescopes are instantiated for each shard of a run, and how one
+// unit of plan work executes inside that world. The engine driver
+// (run_backend) guarantees the rest: units are partitioned into shards
+// by the backend's own rule — never by the thread count — shards
+// execute concurrently on the engine pool, and per-unit outcomes reach
+// the consumer on the caller's thread in ascending unit order. Shared-
+// world aggregates are therefore bit-identical at 1, 2 or N threads.
+//
+// Two backends ship:
+//  * reach_backend      — stateless: a fresh simulator per probe (the
+//    historical quicreach model; golden figures are captured under it).
+//  * backscatter_backend — stateful: each shard hosts one simulator and
+//    one telescope shared by a deterministic slice of spoofed sessions
+//    (the §3.2/§4.3 telescope and ZMap studies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/probe_plan.hpp"
+#include "internet/chain_cache.hpp"
+#include "internet/model.hpp"
+#include "net/address.hpp"
+#include "quic/behavior.hpp"
+#include "scan/reach.hpp"
+#include "scan/telescope.hpp"
+#include "x509/chain.hpp"
+
+namespace certquic::engine {
+
+/// One shard of a backend run: a deterministic slice of the unit index
+/// space plus the shard-scoped randomness stream. The partition depends
+/// only on the plan and the backend — never on the thread count.
+struct shard_context {
+  std::size_t index = 0;  // shard number
+  std::size_t lo = 0;     // first unit (inclusive)
+  std::size_t hi = 0;     // last unit (exclusive)
+  std::uint64_t seed = 0; // shard_seed(base_seed, index)
+};
+
+/// Per-shard stream separator: identical for a given (base, index)
+/// regardless of how many shards run concurrently.
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t base_seed,
+                                       std::size_t shard_index);
+
+/// One executed unit. Stateless backends fill only `probe`; shared-
+/// world backends additionally report what the telescope attributed to
+/// the unit's sensor (empty — datagrams == 0 — otherwise).
+struct unit_outcome {
+  scan::probe_result probe{};
+  scan::backscatter_session backscatter{};
+};
+
+/// The execution-backend interface. Implementations hold only
+/// immutable run inputs; run_shard must be safe to call concurrently
+/// for distinct shards.
+class probe_backend {
+ public:
+  virtual ~probe_backend() = default;
+
+  /// Total units of work in this run.
+  [[nodiscard]] virtual std::size_t unit_count() const = 0;
+
+  /// Units per shard world. 0 means stateless: every unit runs in its
+  /// own fresh world, so the driver may chunk freely (the partition
+  /// cannot influence results). A non-zero value pins the partition:
+  /// unit k always belongs to shard k / units_per_shard(), keeping
+  /// shared-world aggregates thread-count-invariant.
+  [[nodiscard]] virtual std::size_t units_per_shard() const { return 0; }
+
+  /// Base seed the driver derives shard seeds from.
+  [[nodiscard]] virtual std::uint64_t base_seed() const { return 0; }
+
+  /// Builds the shard's world and runs units [ctx.lo, ctx.hi) inside
+  /// it, in ascending unit order; result[i] is unit ctx.lo + i.
+  [[nodiscard]] virtual std::vector<unit_outcome> run_shard(
+      const shard_context& ctx) const = 0;
+};
+
+/// Drives a backend on the engine pool: shards execute concurrently,
+/// outcomes stream to consume(unit_index, outcome) in unit order on the
+/// calling thread.
+template <typename Consume>
+void run_backend(const probe_backend& backend, const options& opt,
+                 Consume&& consume) {
+  const std::size_t units = backend.unit_count();
+  if (units == 0) {
+    return;
+  }
+  std::size_t per_shard = backend.units_per_shard();
+  if (per_shard == 0) {
+    per_shard = opt.chunk == 0 ? 64 : opt.chunk;
+  }
+  const std::size_t shards = (units + per_shard - 1) / per_shard;
+  // One shard is one work item; its outcome vector already batches
+  // per_shard units, so no inner chunking.
+  options shard_opt = opt;
+  shard_opt.chunk = 1;
+  parallel_ordered(
+      shards, shard_opt,
+      [&](std::size_t s) {
+        shard_context ctx;
+        ctx.index = s;
+        ctx.lo = s * per_shard;
+        ctx.hi = std::min(units, ctx.lo + per_shard);
+        ctx.seed = shard_seed(backend.base_seed(), s);
+        return backend.run_shard(ctx);
+      },
+      [&](std::size_t s, std::vector<unit_outcome>&& outcomes) {
+        const std::size_t lo = s * per_shard;
+        for (std::size_t j = 0; j < outcomes.size(); ++j) {
+          consume(lo + j, std::move(outcomes[j]));
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// reach_backend: the stateless quicreach world (one simulator per probe)
+
+class reach_backend final : public probe_backend {
+ public:
+  /// Runs `plan`'s cross product over the resolved sample. Plans with
+  /// more than one variant visit each service repeatedly, so chain
+  /// materialization is memoized behind a thread-safe cache; results
+  /// are bit-identical either way.
+  reach_backend(const internet::model& m, const probe_plan& plan,
+                const std::vector<std::uint32_t>& sampled);
+
+  [[nodiscard]] std::size_t unit_count() const override {
+    return sampled_.size() * plan_.variants.size();
+  }
+  [[nodiscard]] std::uint64_t base_seed() const override {
+    return plan_.base_seed;
+  }
+  [[nodiscard]] std::vector<unit_outcome> run_shard(
+      const shard_context& ctx) const override;
+
+ private:
+  const internet::model& model_;
+  const probe_plan& plan_;
+  const std::vector<std::uint32_t>& sampled_;
+  std::optional<internet::chain_cache> cache_;  // multi-variant plans only
+  scan::reach prober_;
+};
+
+// ---------------------------------------------------------------------------
+// backscatter_backend: shard-shared simulator + telescope worlds
+
+/// One spoofed session: an attacker sends a single unacknowledged
+/// Initial towards `server` with a telescope sensor as its source
+/// address; everything the server answers lands on the telescope.
+struct spoofed_session {
+  net::endpoint_id server;        // attacked endpoint
+  x509::chain chain;              // chain that endpoint serves
+  quic::server_behavior behavior;
+  std::string sni;
+  std::size_t initial_size = 1362;
+  net::duration timeout = net::seconds(400);
+  /// Per-session randomness stream (client/server nonces); a pure
+  /// function of the session's position so shards never interact.
+  std::uint64_t seed = 0;
+};
+
+/// A backscatter run: the session list plus the world parameters every
+/// shard replicates (telescope base block, provider labelling, shared
+/// compression dictionary).
+struct backscatter_plan {
+  std::vector<spoofed_session> sessions;
+  /// Sessions per shared simulator+telescope world. Part of the plan —
+  /// not an execution knob — because it fixes which sessions coexist in
+  /// one world; the thread count only decides how many worlds run at
+  /// once.
+  std::size_t sessions_per_shard = 32;
+  std::uint64_t base_seed = 0;
+  net::ipv4 telescope_base = net::ipv4::of(203, 0, 113, 0);
+  /// /24 server prefixes labelled at the telescope (provider grouping).
+  std::vector<std::pair<net::ipv4, std::string>> provider_prefixes;
+  /// Dictionary backing certificate compression on spawned servers.
+  bytes dictionary;
+};
+
+class backscatter_backend final : public probe_backend {
+ public:
+  explicit backscatter_backend(backscatter_plan plan)
+      : plan_(std::move(plan)) {}
+
+  [[nodiscard]] std::size_t unit_count() const override {
+    return plan_.sessions.size();
+  }
+  [[nodiscard]] std::size_t units_per_shard() const override {
+    return plan_.sessions_per_shard == 0 ? 1 : plan_.sessions_per_shard;
+  }
+  [[nodiscard]] std::uint64_t base_seed() const override {
+    return plan_.base_seed;
+  }
+  [[nodiscard]] std::vector<unit_outcome> run_shard(
+      const shard_context& ctx) const override;
+
+  [[nodiscard]] const backscatter_plan& plan() const noexcept {
+    return plan_;
+  }
+
+ private:
+  backscatter_plan plan_;
+};
+
+}  // namespace certquic::engine

@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 
-#include "scan/reach.hpp"
+#include "engine/backend.hpp"
 #include "util/errors.hpp"
 
 namespace certquic::engine {
@@ -35,34 +35,23 @@ void executor::run(const probe_plan& plan,
   if (plan.variants.empty()) {
     throw config_error("probe_plan without variants");
   }
-  if (sampled.empty()) {
-    return;
-  }
   const std::size_t services = sampled.size();
-  const std::size_t total = services * plan.variants.size();
-  const scan::reach prober{model_};
-
-  parallel_ordered(
-      total, opt_,
-      [&](std::size_t k) {
-        const auto& variant = plan.variants[k / services];
-        const auto& rec = model_.records()[sampled[k % services]];
-        scan::probe_options popt = variant.to_probe_options();
-        popt.seed_override =
-            probe_seed(plan.base_seed, rec.domain, variant.salt);
-        return prober.probe(rec, popt);
-      },
-      [&](std::size_t k, scan::probe_result&& result) {
-        const auto variant_index = static_cast<std::uint32_t>(k / services);
-        const std::uint32_t service_index = sampled[k % services];
-        sink.on_record(probe_record{
-            .service_index = service_index,
-            .variant_index = variant_index,
-            .record = model_.records()[service_index],
-            .variant = plan.variants[variant_index],
-            .result = result,
-        });
+  sink.on_begin(plan, services);
+  if (services > 0) {
+    const reach_backend backend{model_, plan, sampled};
+    run_backend(backend, opt_, [&](std::size_t k, unit_outcome&& outcome) {
+      const auto variant_index = static_cast<std::uint32_t>(k / services);
+      const std::uint32_t service_index = sampled[k % services];
+      sink.on_record(probe_record{
+          .service_index = service_index,
+          .variant_index = variant_index,
+          .record = model_.records()[service_index],
+          .variant = plan.variants[variant_index],
+          .result = outcome.probe,
       });
+    });
+  }
+  sink.on_end();
 }
 
 }  // namespace certquic::engine

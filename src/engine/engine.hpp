@@ -1,11 +1,17 @@
 // The experiment engine: shards a probe_plan across a thread pool and
 // streams the results to an observation_sink in deterministic plan
-// order, so parallel runs are bit-identical to serial ones.
+// order, so parallel runs are bit-identical to serial ones. World
+// construction is delegated to pluggable probe_backends
+// (engine/backend.hpp): the executor runs plans on the stateless
+// reach_backend; shared-world studies (telescope backscatter) drive
+// run_backend with a backscatter_backend directly.
 //
-// Determinism rests on two invariants:
+// Determinism rests on three invariants:
 //  1. every probe's randomness is a pure function of the plan and the
 //     record (probe_seed / the record's own seed), never of scheduling;
-//  2. workers only *compute*; all aggregation happens on the caller's
+//  2. a backend's unit→shard partition is fixed by the plan, never by
+//     the thread count, so shared-world interactions are reproducible;
+//  3. workers only *compute*; all aggregation happens on the caller's
 //     thread, in plan order, via parallel_ordered's ordered consumer.
 #pragma once
 
@@ -168,8 +174,10 @@ class executor {
   explicit executor(const internet::model& m, options opt = {})
       : model_(m), opt_(opt) {}
 
-  /// Runs the plan, streaming every probe to the sink in plan order.
-  /// Throws config_error on a plan without variants.
+  /// Runs the plan on the stateless reach backend, streaming every
+  /// probe to the sink in plan order, wrapped in the sink's
+  /// on_begin/on_end lifecycle. Throws config_error on a plan without
+  /// variants.
   void run(const probe_plan& plan, observation_sink& sink) const;
 
   /// Same, over an already-resolved sample (callers that need the

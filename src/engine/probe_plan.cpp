@@ -57,7 +57,9 @@ scan::probe_options probe_variant::to_probe_options() const {
   opt.initial_size = initial_size;
   opt.offer_compression = offer_compression;
   opt.capture_certificate = capture_certificate;
-  opt.send_acks = send_acks;
+  opt.send_acks = ack != quic::ack_policy::none;
+  opt.ack_delay =
+      ack == quic::ack_policy::instant ? 0 : net::milliseconds(1);
   opt.timeout = timeout;
   return opt;
 }
@@ -76,6 +78,18 @@ probe_plan& probe_plan::sweep_initial_sizes(
   for (const std::size_t size : sizes) {
     probe_variant v;
     v.initial_size = size;
+    variants.push_back(std::move(v));
+  }
+  return *this;
+}
+
+probe_plan& probe_plan::sweep_ack_policies(std::size_t initial_size) {
+  for (const quic::ack_policy policy :
+       {quic::ack_policy::delayed, quic::ack_policy::instant,
+        quic::ack_policy::none}) {
+    probe_variant v;
+    v.initial_size = initial_size;
+    v.ack = policy;
     variants.push_back(std::move(v));
   }
   return *this;

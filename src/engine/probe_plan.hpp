@@ -11,6 +11,7 @@
 
 #include "internet/model.hpp"
 #include "net/time.hpp"
+#include "quic/client.hpp"
 #include "scan/reach.hpp"
 
 namespace certquic::engine {
@@ -39,8 +40,10 @@ struct probe_variant {
   std::size_t initial_size = 1362;
   /// Algorithms offered via compress_certificate (empty = quicreach).
   std::vector<compress::algorithm> offer_compression;
-  /// False imitates an adversary: never acknowledge anything.
-  bool send_acks = true;
+  /// Client acknowledgement behaviour axis ("ReACKed QUICer"): the
+  /// default delayed-ack client, the instant-ACK variant, or the silent
+  /// adversary that never acknowledges anything.
+  quic::ack_policy ack = quic::ack_policy::delayed;
   /// Retain the raw Certificate message (QScanner mode).
   bool capture_certificate = false;
   /// Observation deadline override; unset keeps the client default.
@@ -77,6 +80,10 @@ struct probe_plan {
 
   /// Appends one variant per Initial size (e.g. the Fig. 3 sweep).
   probe_plan& sweep_initial_sizes(const std::vector<std::size_t>& sizes);
+
+  /// Appends one variant per client ACK policy (delayed, instant,
+  /// none), all at `initial_size` — the ReACKed-QUICer axis.
+  probe_plan& sweep_ack_policies(std::size_t initial_size = 1362);
 };
 
 /// Per-probe deterministic seed: identical regardless of shard count or

@@ -1,10 +1,19 @@
-// Streaming consumer interface for probe results. The executor delivers
-// records to the sink strictly in plan order (variant-major, then the
-// sampled service order) on the caller's thread, so aggregators need no
-// locking and parallel runs aggregate bit-identically to serial ones.
+// Streaming consumer interface for probe results — the engine's second
+// load-bearing API. The executor delivers records to the sink strictly
+// in plan order (variant-major, then the sampled service order) on the
+// caller's thread, so aggregators need no locking and parallel runs
+// aggregate bit-identically to serial ones.
+//
+// Sinks have a lifecycle: on_begin(plan, sampled_services) fires once
+// before the first record (also on empty runs) so aggregators can
+// pre-reserve, then one on_record per probe, then on_end() exactly
+// once. Sinks compose: tee_sink fans a stream out to several
+// aggregators, filter_sink gates it on a predicate, and spill_sink
+// (engine/spill.hpp) streams it to disk for out-of-core sweeps.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "engine/probe_plan.hpp"
 #include "internet/model.hpp"
@@ -27,9 +36,23 @@ struct probe_record {
 class observation_sink {
  public:
   virtual ~observation_sink() = default;
+
+  /// Called once before the first record. `sampled_services` is the
+  /// resolved sample size; the run delivers sampled_services *
+  /// plan.variants.size() records, which is what reserving aggregators
+  /// should size for.
+  virtual void on_begin(const probe_plan& plan,
+                        std::size_t sampled_services) {
+    (void)plan;
+    (void)sampled_services;
+  }
+
   /// Called once per probe, in plan order, on the executor's caller
   /// thread.
   virtual void on_record(const probe_record& rec) = 0;
+
+  /// Called once after the last record, also when the run was empty.
+  virtual void on_end() {}
 };
 
 /// Adapter turning a callable into a sink, for one-off consumers.
@@ -45,5 +68,59 @@ class callback_sink final : public observation_sink {
 
 template <typename Fn>
 callback_sink(Fn) -> callback_sink<Fn>;
+
+/// Fans one stream out to several sinks; lifecycle calls and records
+/// reach the children in construction order.
+class tee_sink final : public observation_sink {
+ public:
+  explicit tee_sink(std::vector<observation_sink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void on_begin(const probe_plan& plan, std::size_t sampled) override {
+    for (observation_sink* sink : sinks_) {
+      sink->on_begin(plan, sampled);
+    }
+  }
+  void on_record(const probe_record& rec) override {
+    for (observation_sink* sink : sinks_) {
+      sink->on_record(rec);
+    }
+  }
+  void on_end() override {
+    for (observation_sink* sink : sinks_) {
+      sink->on_end();
+    }
+  }
+
+ private:
+  std::vector<observation_sink*> sinks_;
+};
+
+/// Forwards only records matching a predicate; lifecycle calls always
+/// pass through (the downstream sink still sees exactly one
+/// on_begin/on_end pair).
+template <typename Pred>
+class filter_sink final : public observation_sink {
+ public:
+  filter_sink(observation_sink& next, Pred pred)
+      : next_(next), pred_(std::move(pred)) {}
+
+  void on_begin(const probe_plan& plan, std::size_t sampled) override {
+    next_.on_begin(plan, sampled);
+  }
+  void on_record(const probe_record& rec) override {
+    if (pred_(rec)) {
+      next_.on_record(rec);
+    }
+  }
+  void on_end() override { next_.on_end(); }
+
+ private:
+  observation_sink& next_;
+  Pred pred_;
+};
+
+template <typename Pred>
+filter_sink(observation_sink&, Pred) -> filter_sink<Pred>;
 
 }  // namespace certquic::engine

@@ -1,0 +1,172 @@
+#include "engine/spill.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+#include "util/hex.hpp"
+
+namespace certquic::engine {
+namespace {
+
+constexpr const char* kMagic = "certquic-spill";
+constexpr const char* kVersion = "v1";
+
+}  // namespace
+
+spill_sink::spill_sink(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) {
+    throw config_error("spill_sink: cannot open " + path_);
+  }
+}
+
+spill_sink::~spill_sink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void spill_sink::write_header(std::size_t variants, std::size_t sampled) {
+  std::fprintf(file_, "%s %s %zu %zu\n", kMagic, kVersion, variants, sampled);
+  header_written_ = true;
+}
+
+void spill_sink::on_begin(const probe_plan& plan, std::size_t sampled) {
+  if (!header_written_) {
+    write_header(plan.variants.size(), sampled);
+  }
+}
+
+void spill_sink::on_record(const probe_record& rec) {
+  if (file_ == nullptr) {
+    throw config_error("spill_sink: record after on_end");
+  }
+  if (!header_written_) {
+    write_header(0, 0);  // driven without a lifecycle; counts unknown
+  }
+  const quic::observation& o = rec.result.obs;
+  std::fprintf(
+      file_,
+      "%" PRIu32 " %" PRIu32 " %d %d %d %d %d %d %zu %zu %zu %zu %zu %zu "
+      "%zu %zu %zu %zu %zu %d %zu %zu %" PRIu64 " %" PRIu64 " %" PRIu64
+      " %" PRIu64 " %s\n",
+      rec.service_index, rec.variant_index,
+      static_cast<int>(rec.result.cls), o.response_received ? 1 : 0,
+      o.retry_seen ? 1 : 0, o.version_negotiation_seen ? 1 : 0,
+      o.handshake_complete ? 1 : 0, o.timed_out ? 1 : 0, o.client_datagrams,
+      o.acks_before_complete, o.bytes_sent_first_flight, o.bytes_sent_total,
+      o.bytes_received_total, o.bytes_received_first_burst,
+      o.tls_bytes_first_burst, o.padding_bytes_first_burst,
+      o.tls_bytes_received, o.padding_bytes_received, o.server_datagrams,
+      o.compression_used ? 1 : 0, o.certificate_msg_size,
+      o.certificate_uncompressed_size, o.start_time, o.complete_time,
+      o.first_receive_time, o.last_receive_time,
+      o.certificate_message.empty()
+          ? "-"
+          : to_hex(o.certificate_message).c_str());
+  ++records_;
+}
+
+void spill_sink::on_end() {
+  if (file_ == nullptr) {
+    return;
+  }
+  // Surface disk-full / I/O failures here instead of reporting a
+  // truncated spill as success: a clean-looking but short file would
+  // silently replay into wrong aggregates.
+  const bool write_error = std::ferror(file_) != 0;
+  const bool close_error = std::fclose(file_) != 0;
+  file_ = nullptr;
+  if (write_error || close_error) {
+    throw config_error("spill_sink: I/O error writing " + path_);
+  }
+}
+
+std::size_t spill_reader::replay(const std::string& path,
+                                 observation_sink& sink) const {
+  std::ifstream in{path};
+  if (!in) {
+    throw config_error("spill_reader: cannot open " + path);
+  }
+  std::string magic;
+  std::string version;
+  std::size_t variants = 0;
+  std::size_t sampled = 0;
+  in >> magic >> version >> variants >> sampled;
+  if (magic != kMagic || version != kVersion) {
+    throw codec_error("spill_reader: not a " + std::string(kVersion) +
+                      " spill file: " + path);
+  }
+  if (variants != 0 && variants != plan_.variants.size()) {
+    throw config_error("spill_reader: spill captured under " +
+                       std::to_string(variants) +
+                       " variants, plan has " +
+                       std::to_string(plan_.variants.size()));
+  }
+
+  sink.on_begin(plan_, sampled);
+  std::size_t records = 0;
+  std::string line;
+  std::getline(in, line);  // consume the header's newline
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields{line};
+    std::uint32_t service_index = 0;
+    std::uint32_t variant_index = 0;
+    int cls = 0;
+    int response = 0, retry = 0, vn = 0, complete = 0, timed_out = 0;
+    int compression = 0;
+    std::string hex;
+    scan::probe_result result;
+    quic::observation& o = result.obs;
+    fields >> service_index >> variant_index >> cls >> response >> retry >>
+        vn >> complete >> timed_out >> o.client_datagrams >>
+        o.acks_before_complete >> o.bytes_sent_first_flight >>
+        o.bytes_sent_total >> o.bytes_received_total >>
+        o.bytes_received_first_burst >> o.tls_bytes_first_burst >>
+        o.padding_bytes_first_burst >> o.tls_bytes_received >>
+        o.padding_bytes_received >> o.server_datagrams >> compression >>
+        o.certificate_msg_size >> o.certificate_uncompressed_size >>
+        o.start_time >> o.complete_time >> o.first_receive_time >>
+        o.last_receive_time >> hex;
+    if (!fields) {
+      throw codec_error("spill_reader: truncated record in " + path);
+    }
+    if (cls < 0 ||
+        cls > static_cast<int>(scan::handshake_class::unreachable)) {
+      throw codec_error("spill_reader: handshake class out of range");
+    }
+    result.cls = static_cast<scan::handshake_class>(cls);
+    o.response_received = response != 0;
+    o.retry_seen = retry != 0;
+    o.version_negotiation_seen = vn != 0;
+    o.handshake_complete = complete != 0;
+    o.timed_out = timed_out != 0;
+    o.compression_used = compression != 0;
+    if (hex != "-") {
+      o.certificate_message = from_hex(hex);
+    }
+    if (service_index >= model_.records().size()) {
+      throw config_error("spill_reader: service index out of range");
+    }
+    if (variant_index >= plan_.variants.size()) {
+      throw config_error("spill_reader: variant index out of range");
+    }
+    sink.on_record(probe_record{
+        .service_index = service_index,
+        .variant_index = variant_index,
+        .record = model_.records()[service_index],
+        .variant = plan_.variants[variant_index],
+        .result = result,
+    });
+    ++records;
+  }
+  sink.on_end();
+  return records;
+}
+
+}  // namespace certquic::engine

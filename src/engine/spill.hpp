@@ -1,0 +1,72 @@
+// Out-of-core sinks: spill_sink streams probe_records to disk as
+// line-delimited records instead of aggregating in memory, and
+// spill_reader replays a spilled file back through any sink against the
+// same model and plan. Together they decouple probing from aggregation:
+// a million-domain sweep can run once, spill, and be re-aggregated by
+// any number of sinks without re-simulating a single handshake.
+//
+// Format (version 1, one record per line, space-separated):
+//   certquic-spill v1 <variant_count> <sampled_services>
+//   <service_index> <variant_index> <class> <24 observation fields>
+//   <hex certificate message | "-">
+// Every field of scan::probe_result round-trips, so replayed aggregates
+// are bit-identical to direct ones (enforced by tests/backend_test).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "engine/sink.hpp"
+
+namespace certquic::engine {
+
+/// Streams records to a file. The header is written on on_begin (or
+/// lazily before the first record when the sink is driven without a
+/// lifecycle); on_end flushes and closes.
+class spill_sink final : public observation_sink {
+ public:
+  /// Opens `path` for writing; throws config_error when that fails.
+  explicit spill_sink(std::string path);
+  ~spill_sink() override;
+
+  spill_sink(const spill_sink&) = delete;
+  spill_sink& operator=(const spill_sink&) = delete;
+
+  void on_begin(const probe_plan& plan, std::size_t sampled) override;
+  void on_record(const probe_record& rec) override;
+  void on_end() override;
+
+  [[nodiscard]] std::size_t records_written() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_header(std::size_t variants, std::size_t sampled);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool header_written_ = false;
+  std::size_t records_ = 0;
+};
+
+/// Replays spilled files. Records are reconstructed against the model
+/// and plan the spill was captured under: service/variant indices are
+/// resolved back to references, the probe result is decoded verbatim.
+class spill_reader {
+ public:
+  spill_reader(const internet::model& m, const probe_plan& plan)
+      : model_(m), plan_(plan) {}
+
+  /// Streams every spilled record through `sink` (with the full
+  /// on_begin/on_record/on_end lifecycle) and returns the record count.
+  /// Throws codec_error on a malformed or version-mismatched file and
+  /// config_error when an index does not fit the model or plan.
+  std::size_t replay(const std::string& path, observation_sink& sink) const;
+
+ private:
+  const internet::model& model_;
+  const probe_plan& plan_;
+};
+
+}  // namespace certquic::engine

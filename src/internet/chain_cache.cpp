@@ -1,0 +1,37 @@
+#include "internet/chain_cache.hpp"
+
+namespace certquic::internet {
+
+std::shared_ptr<const x509::chain> chain_cache::chain_of(
+    const service_record& rec, fetch_protocol proto) const {
+  // Ranks are 1-based and unique across the population, so (rank,
+  // protocol) identifies the materialization exactly.
+  const std::uint64_t key = (static_cast<std::uint64_t>(rec.rank) << 1) |
+                            (proto == fetch_protocol::quic ? 1u : 0u);
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (const auto it = chains_.find(key); it != chains_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Materialize outside the lock: issuance is the expensive part and
+  // deterministic, so a racing duplicate is wasted work, never a wrong
+  // answer.
+  auto chain = std::make_shared<const x509::chain>(model_.chain_of(rec, proto));
+  const std::lock_guard<std::mutex> lock{mu_};
+  const auto [it, inserted] = chains_.emplace(key, std::move(chain));
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+std::size_t chain_cache::size() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return chains_.size();
+}
+
+}  // namespace certquic::internet

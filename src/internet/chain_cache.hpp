@@ -1,0 +1,63 @@
+// Thread-safe memoization of model::chain_of, keyed by (record, fetch
+// protocol). Chain materialization — synthetic issuance plus DER
+// encoding — is the hot path of repeat-visit plans (the tuner probes
+// every service twice, multi-variant sweeps probe it once per variant)
+// and of combined corpus/compression drivers that walk the same TLS
+// sample. Since chain_of is a pure function of the record and protocol,
+// concurrent misses may race to materialize the same chain; every
+// racer produces identical bytes, so the first insert wins and all
+// callers observe the same chain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "internet/model.hpp"
+
+namespace certquic::internet {
+
+class chain_cache {
+ public:
+  explicit chain_cache(const model& m) : model_(m) {}
+
+  chain_cache(const chain_cache&) = delete;
+  chain_cache& operator=(const chain_cache&) = delete;
+
+  /// The chain `rec` serves over `proto`, materialized at most once per
+  /// key. Safe to call concurrently from engine workers.
+  [[nodiscard]] std::shared_ptr<const x509::chain> chain_of(
+      const service_record& rec, fetch_protocol proto) const;
+
+  [[nodiscard]] const model& population() const noexcept { return model_; }
+
+  /// Distinct chains held.
+  [[nodiscard]] std::size_t size() const;
+  /// Lookups served from the cache / materializations performed.
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_.load(); }
+
+ private:
+  const model& model_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const x509::chain>>
+      chains_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+/// Cache-aware fetch shared by every chain consumer: goes through
+/// `cache` when one is provided, else materializes directly. Keeps the
+/// optional-cache dispatch in one place.
+[[nodiscard]] inline x509::chain fetch_chain(const model& m,
+                                             const chain_cache* cache,
+                                             const service_record& rec,
+                                             fetch_protocol proto) {
+  return cache != nullptr ? *cache->chain_of(rec, proto)
+                          : m.chain_of(rec, proto);
+}
+
+}  // namespace certquic::internet

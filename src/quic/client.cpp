@@ -26,6 +26,18 @@ void reassemble(bytes& stream, const crypto_frame& cf) {
 
 }  // namespace
 
+std::string to_string(ack_policy p) {
+  switch (p) {
+    case ack_policy::delayed:
+      return "delayed-ack";
+    case ack_policy::instant:
+      return "instant-ack";
+    case ack_policy::none:
+      return "no-ack";
+  }
+  return "?";
+}
+
 client::client(net::simulator& sim, net::endpoint_id local,
                net::endpoint_id server, client_config config,
                std::uint64_t seed)
@@ -151,8 +163,10 @@ void client::on_datagram(const net::datagram& d) {
 
   if (config_.send_acks && !ack_timer_armed_ && !finished_sent_) {
     ack_timer_armed_ = true;
-    // Minimal delayed-ack: batches a burst into one acknowledgement.
-    sim_.schedule(net::milliseconds(1), [this]() { send_ack_flight(); });
+    // Delayed-ack batches a burst into one acknowledgement; a zero
+    // delay (instant-ACK variant) still fires after every delivery
+    // already queued for this instant, so same-instant bursts batch.
+    sim_.schedule(config_.ack_delay, [this]() { send_ack_flight(); });
   }
 }
 

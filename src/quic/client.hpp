@@ -14,6 +14,16 @@
 
 namespace certquic::quic {
 
+/// Client acknowledgement behaviours ("ReACKed QUICer", Mücke et al.):
+/// how eagerly a client acknowledges the server's handshake bursts.
+enum class ack_policy : std::uint8_t {
+  delayed,  // minimal delayed-ack: batch a burst, answer after a tick
+  instant,  // acknowledge every burst immediately (instant-ACK client)
+  none,     // silent adversary / ZMap probe: never acknowledge anything
+};
+
+[[nodiscard]] std::string to_string(ack_policy p);
+
 /// Client-side handshake parameters.
 struct client_config {
   /// Target UDP payload of the first flight (the paper sweeps
@@ -24,6 +34,9 @@ struct client_config {
   std::vector<compress::algorithm> offer_compression{};
   /// False imitates an adversary / ZMap probe: never ACK, never answer.
   bool send_acks = true;
+  /// Delay before a received burst is acknowledged; 0 is the
+  /// instant-ACK client variant. Ignored when send_acks is false.
+  net::duration ack_delay = net::milliseconds(1);
   std::string sni = "example.org";
   /// Give-up deadline for the observation.
   net::duration timeout = net::seconds(3);

@@ -27,7 +27,8 @@ probe_result reach::probe(const internet::service_record& rec,
 
   quic::server srv{sim,
                    server_ep,
-                   model_.chain_of(rec, internet::fetch_protocol::quic),
+                   internet::fetch_chain(model_, cache_, rec,
+                                         internet::fetch_protocol::quic),
                    model_.behavior_of(rec),
                    model_.compression_dictionary(),
                    seed ^ 0x5e4};
@@ -38,6 +39,7 @@ probe_result reach::probe(const internet::service_record& rec,
   config.sni = rec.domain;
   config.capture_certificate = opt.capture_certificate;
   config.send_acks = opt.send_acks;
+  config.ack_delay = opt.ack_delay;
   if (opt.timeout) {
     config.timeout = *opt.timeout;
   }

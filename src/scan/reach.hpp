@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "internet/chain_cache.hpp"
 #include "internet/model.hpp"
 #include "net/time.hpp"
 #include "scan/classify.hpp"
@@ -22,6 +23,9 @@ struct probe_options {
   bool capture_certificate = false;
   /// False imitates an adversary / ZMap probe: never acknowledge.
   bool send_acks = true;
+  /// Delay before acknowledging a burst; 0 is the instant-ACK client
+  /// variant ("ReACKed QUICer"). Ignored when send_acks is false.
+  net::duration ack_delay = net::milliseconds(1);
   /// Observation deadline; unset keeps the client default.
   std::optional<net::duration> timeout{};
   /// Non-zero replaces the record-derived simulator seeding with an
@@ -41,7 +45,12 @@ struct probe_result {
 /// (which pause 30 minutes between same-service probes).
 class reach {
  public:
-  explicit reach(const internet::model& m) : model_(m) {}
+  /// With a chain_cache, repeat visits of the same service reuse the
+  /// materialized chain instead of re-issuing it (the cache is pure
+  /// memoization: probe results are bit-identical either way).
+  explicit reach(const internet::model& m,
+                 const internet::chain_cache* cache = nullptr)
+      : model_(m), cache_(cache) {}
 
   /// Probes one QUIC service. Throws config_error when the record does
   /// not serve QUIC.
@@ -50,6 +59,7 @@ class reach {
 
  private:
   const internet::model& model_;
+  const internet::chain_cache* cache_ = nullptr;
 };
 
 }  // namespace certquic::scan

@@ -46,15 +46,26 @@ void telescope::on_datagram(const net::datagram& d) {
   } catch (const codec_error&) {
     // keep the sentinel; bytes still count
   }
-  auto& session = sessions_[{provider, scid_hex}];
-  if (session.datagrams == 0) {
-    session.provider = provider;
-    session.scid_hex = scid_hex;
-    session.first_seen = sim_.now();
-  }
-  session.last_seen = sim_.now();
-  session.bytes += d.payload.size();
-  ++session.datagrams;
+  const auto account = [&](backscatter_session& session) {
+    if (session.datagrams == 0) {
+      session.provider = provider;
+      session.scid_hex = scid_hex;
+      session.first_seen = sim_.now();
+    }
+    session.last_seen = sim_.now();
+    session.bytes += d.payload.size();
+    ++session.datagrams;
+  };
+  account(sessions_[{provider, scid_hex}]);
+  // Per-sensor attribution: d.dst is the sensor the backscatter landed
+  // on, which identifies the spoofed session that elicited it.
+  account(by_sensor_[d.dst]);
+}
+
+backscatter_session telescope::observed_at(
+    const net::endpoint_id& sensor) const {
+  const auto it = by_sensor_.find(sensor);
+  return it == by_sensor_.end() ? backscatter_session{} : it->second;
 }
 
 std::vector<backscatter_session> telescope::sessions() const {

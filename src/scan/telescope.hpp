@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/simulator.hpp"
@@ -47,6 +48,13 @@ class telescope {
   /// All sessions observed so far.
   [[nodiscard]] std::vector<backscatter_session> sessions() const;
 
+  /// Everything that arrived at one sensor address. Each spoofed
+  /// session owns exactly one sensor, so this is the per-session view
+  /// the engine's backscatter backend streams out; an untouched sensor
+  /// yields an empty session (datagrams == 0).
+  [[nodiscard]] backscatter_session observed_at(
+      const net::endpoint_id& sensor) const;
+
   [[nodiscard]] std::size_t datagrams_seen() const noexcept {
     return datagrams_;
   }
@@ -62,6 +70,7 @@ class telescope {
   std::map<std::uint32_t, std::string> prefixes_;  // /24 -> provider
   std::map<std::pair<std::string, std::string>, backscatter_session>
       sessions_;
+  std::unordered_map<net::endpoint_id, backscatter_session> by_sensor_;
   std::size_t datagrams_ = 0;
 };
 

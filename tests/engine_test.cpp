@@ -268,7 +268,7 @@ TEST(ProbePlan, NoAckVariantNeverAcknowledges) {
   const auto& m = shared_model();
   engine::probe_variant variant;
   variant.initial_size = 1362;
-  variant.send_acks = false;
+  variant.ack = quic::ack_policy::none;
   const auto plan = engine::probe_plan::single(std::move(variant), 20);
   std::size_t probes = 0;
   engine::callback_sink sink{[&](const engine::probe_record& pr) {

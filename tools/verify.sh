@@ -35,7 +35,9 @@ fi
 
 # --threads N: the engine-determinism gate. Tier-1 must pass with the
 # serial engine and with N worker threads, and the five golden bench
-# binaries must print byte-identical output under both settings.
+# binaries — plus fig09, whose spoofed-amplification pass now runs on
+# the engine's shared-world backscatter backend — must print
+# byte-identical output under both settings.
 for t in 1 "$engine_threads"; do
   echo "== tier-1 with CERTQUIC_THREADS=$t =="
   CERTQUIC_THREADS=$t ctest --output-on-failure -j "$jobs" -L tier1 "$@"
@@ -49,7 +51,7 @@ trap 'rm -rf "$out_dir"' EXIT
 status=0
 for bin in fig02_cert_field_sizes fig04_amplification_cdf \
            fig06_chain_size_cdf tab01_browser_profiles \
-           tab02_crypto_algorithms; do
+           tab02_crypto_algorithms fig09_spoofed_amplification; do
   env $smoke_env CERTQUIC_THREADS=1 "./bench/$bin" \
     > "$out_dir/$bin.serial.txt"
   env $smoke_env CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
