@@ -1,6 +1,11 @@
 // Table 2: relative ratio of crypto algorithms and key lengths in use,
 // for leaf and non-leaf certificates of QUIC vs HTTPS-only services.
 // Paper: HTTPS-only depends heavily on RSA.
+//
+// CERTQUIC_PQ_PROFILE=classical|pqc_leaf|pqc_full materializes the
+// corpus under a PQC chain profile; the ML-DSA columns appear only
+// when that switch actually put post-quantum certificates in the
+// corpus, so the default run renders the published four-column table.
 #include "common.hpp"
 #include "core/certificates.hpp"
 
@@ -10,11 +15,39 @@ int main() {
 
   const auto cfg = bench::population_config();
   const auto& model = bench::shared_model();
-  const auto corpus =
-      core::analyze_corpus(model, {.max_services = bench::sample_cap(8000)});
+  core::corpus_options copt;
+  copt.max_services = bench::sample_cap(8000);
+  if (const char* profile = std::getenv("CERTQUIC_PQ_PROFILE");
+      profile != nullptr && *profile != '\0') {
+    try {
+      copt.profile = x509::parse_pq_profile(profile);
+    } catch (const config_error& e) {
+      std::fprintf(stderr,
+                   "tab02_crypto_algorithms: %s (expected classical, "
+                   "pqc_leaf or pqc_full)\n",
+                   e.what());
+      return 2;
+    }
+  }
+  const auto corpus = core::analyze_corpus(model, copt);
 
-  text_table table({"Service", "Certificate", "RSA-2048", "RSA-4096",
-                    "ECDSA-256", "ECDSA-384"});
+  std::size_t classes = core::kClassicalAlgClasses;
+  for (const auto& side : corpus.alg_counts) {
+    for (const auto& role : side) {
+      for (std::size_t a = core::kClassicalAlgClasses; a < core::kAlgClasses;
+           ++a) {
+        if (role[a] > 0) {
+          classes = core::kAlgClasses;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> headers = {"Service", "Certificate"};
+  for (std::size_t a = 0; a < classes; ++a) {
+    headers.push_back(core::alg_class_names()[a]);
+  }
+  text_table table(std::move(headers));
   static const char* kSides[] = {"QUIC", "HTTPS-only"};
   static const char* kRoles[] = {"Leaf", "Non-leaf"};
   for (int side = 0; side < 2; ++side) {
@@ -27,9 +60,9 @@ int main() {
         total += count;
       }
       std::vector<std::string> row = {kSides[side], kRoles[role == 0 ? 0 : 1]};
-      for (const auto count : counts) {
+      for (std::size_t a = 0; a < classes; ++a) {
         row.push_back(total == 0 ? "-"
-                                 : pct(static_cast<double>(count) /
+                                 : pct(static_cast<double>(counts[a]) /
                                        static_cast<double>(total), 1));
       }
       table.add_row(std::move(row));

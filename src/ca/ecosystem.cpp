@@ -51,6 +51,25 @@ std::shared_ptr<const certificate> make_ca_cert(
   return std::make_shared<const certificate>(std::move(spec), r);
 }
 
+/// ML-DSA twin of a classical parent certificate: the same position in
+/// the hierarchy (subject, issuer) and the same extension richness as
+/// its classical counterpart — built through make_ca_cert so
+/// intermediates keep their full operational set (EKU, policies, AIA,
+/// CRL DP) — with ML-DSA-65 keys on intermediates, ML-DSA-87 on roots,
+/// and ML-DSA-87 signatures (every named parent is signed by a
+/// root-grade key). Per-record pqc_full size deltas therefore isolate
+/// the algorithm change; only the operational host is a synthetic
+/// placeholder of realistic length.
+std::shared_ptr<const certificate> make_pqc_twin(const certificate& parent,
+                                                 rng& r) {
+  const bool root = parent.self_signed();
+  return make_ca_cert(
+      r, parent.subject(), parent.issuer(),
+      root ? key_algorithm::mldsa_87 : key_algorithm::mldsa_65,
+      key_algorithm::mldsa_87, root ? ca_style::root : ca_style::intermediate,
+      "pq.pki.example");
+}
+
 }  // namespace
 
 std::size_t chain_profile::parent_wire_size() const {
@@ -359,6 +378,31 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 4,
                 .sct_count = 3,
                 .url_host = "sectigo.com"}});
+
+  // ML-DSA twins of every distinct named parent, for pqc_full chains.
+  // Drawn from a dedicated stream so the classical parents above — and
+  // every golden output derived from them — keep their exact bytes.
+  rng pq_rng{seed ^ 0x90C5'0D5AULL};
+  std::vector<std::pair<const certificate*,
+                        std::shared_ptr<const certificate>>>
+      twins;
+  for (auto& p : eco.profiles_) {
+    p.parents_pqc.reserve(p.parents.size());
+    for (const auto& parent : p.parents) {
+      std::shared_ptr<const certificate> twin;
+      for (const auto& [classical, existing] : twins) {
+        if (classical == parent.get()) {
+          twin = existing;
+          break;
+        }
+      }
+      if (!twin) {
+        twin = make_pqc_twin(*parent, pq_rng);
+        twins.emplace_back(parent.get(), twin);
+      }
+      p.parents_pqc.push_back(std::move(twin));
+    }
+  }
   return eco;
 }
 
@@ -372,20 +416,28 @@ const chain_profile& ecosystem::profile(std::string_view id) const {
 }
 
 x509::chain ecosystem::issue(const chain_profile& profile,
-                             const std::string& domain, rng& r) const {
+                             const std::string& domain, rng& r,
+                             x509::pq_profile pq) const {
+  const auto& parents = pq == x509::pq_profile::pqc_full
+                            ? profile.parents_pqc
+                            : profile.parents;
   const leaf_profile& lp = profile.leaf;
   certificate_spec spec;
-  spec.issuer = profile.parents.empty()
-                    ? distinguished_name::cn("Unknown Issuer")
-                    : profile.parents.front()->subject();
+  spec.issuer = parents.empty() ? distinguished_name::cn("Unknown Issuer")
+                                : parents.front()->subject();
   spec.subject = distinguished_name::cn(domain);
+  // The classical key draw is consumed under every profile so a
+  // record's chain keeps its structure (SANs, SCT count) across the
+  // PQC sweep; both PQC stages then put ML-DSA-44 on the leaf.
   spec.key_alg = (lp.rsa_mix > 0.0 && r.chance(lp.rsa_mix))
                      ? key_algorithm::rsa_2048
                      : lp.key_alg;
-  spec.key_alg = spec.key_alg;
-  const key_algorithm issuing_key = profile.parents.empty()
+  if (pq != x509::pq_profile::classical) {
+    spec.key_alg = key_algorithm::mldsa_44;
+  }
+  const key_algorithm issuing_key = parents.empty()
                                         ? key_algorithm::rsa_2048
-                                        : profile.parents.front()->key_alg();
+                                        : parents.front()->key_alg();
   spec.sig_alg = x509::signature_by(issuing_key);
 
   std::vector<std::string> sans;
@@ -420,7 +472,7 @@ x509::chain ecosystem::issue(const chain_profile& profile,
       lp.sct_count > 1 && r.chance(0.5) ? lp.sct_count - 1 : lp.sct_count;
   spec.extensions.push_back(x509::make_sct_list(scts, r));
   certificate leaf{std::move(spec), r};
-  return x509::chain{std::move(leaf), profile.parents};
+  return x509::chain{std::move(leaf), parents};
 }
 
 x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
@@ -438,9 +490,18 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
   static constexpr key_algorithm kAlgs[] = {
       key_algorithm::rsa_2048, key_algorithm::rsa_4096,
       key_algorithm::ecdsa_p256, key_algorithm::ecdsa_p384};
-  auto pick_nonleaf = [&]() {
-    return kAlgs[r.weighted_index(opt.quic_flavor ? kQuicNonLeaf
-                                                  : kHttpsNonLeaf)];
+  // The classical draw is always consumed so the tail hierarchy (depth,
+  // names, SANs) is identical across chain profiles; pqc_full then
+  // replaces the algorithms: ML-DSA-87 root, ML-DSA-65 intermediates.
+  const bool pqc_full = opt.pq == x509::pq_profile::pqc_full;
+  auto pick_nonleaf = [&](bool root) {
+    const key_algorithm classical =
+        kAlgs[r.weighted_index(opt.quic_flavor ? kQuicNonLeaf
+                                               : kHttpsNonLeaf)];
+    if (!pqc_full) {
+      return classical;
+    }
+    return root ? key_algorithm::mldsa_87 : key_algorithm::mldsa_65;
   };
 
   // Depth distribution: mostly a single intermediate; monsters are rare
@@ -459,7 +520,7 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
   // Build top-down: root first, then intermediates; serve leaf-first.
   distinguished_name above = distinguished_name::org(
       "US", ca_org + " Trust Services", ca_org + " Root CA");
-  key_algorithm above_key = pick_nonleaf();
+  key_algorithm above_key = pick_nonleaf(true);
   std::vector<std::shared_ptr<const certificate>> top_down;
   const bool include_anchor = r.chance(0.15);  // superfluous root
   if (include_anchor) {
@@ -473,7 +534,7 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
     const auto dn = distinguished_name::org(
         "US", ca_org + " Trust Services",
         ca_org + " CA " + std::to_string(level + 1));
-    const key_algorithm key = pick_nonleaf();
+    const key_algorithm key = pick_nonleaf(false);
     rng level_rng = r.fork(100 + level);
     auto cert = make_ca_cert(level_rng, dn, parent_dn, key, parent_key,
                              ca_style::intermediate, ca_host);
@@ -486,8 +547,10 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
       certificate_spec spec;
       spec.subject = dn;
       spec.issuer = parent_dn;
-      spec.key_alg = key_algorithm::rsa_4096;
-      spec.sig_alg = x509::signature_by(key_algorithm::rsa_4096);
+      spec.key_alg =
+          pqc_full ? key_algorithm::mldsa_65 : key_algorithm::rsa_4096;
+      spec.sig_alg = x509::signature_by(
+          pqc_full ? key_algorithm::mldsa_87 : key_algorithm::rsa_4096);
       const std::size_t cps_len =
           opt.quic_flavor ? 300 + level_rng.uniform(0, 500)
                           : 900 + level_rng.uniform(0, 2600);
@@ -515,8 +578,11 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
   // HTTPS-only {81.4, 8.1, 7.8, 1.9}% (residuals folded into EC384).
   static constexpr double kQuicLeaf[] = {0.192, 0.014, 0.789, 0.005};
   static constexpr double kHttpsLeaf[] = {0.814, 0.081, 0.078, 0.019};
-  const key_algorithm leaf_key =
+  key_algorithm leaf_key =
       kAlgs[r.weighted_index(opt.quic_flavor ? kQuicLeaf : kHttpsLeaf)];
+  if (opt.pq != x509::pq_profile::classical) {
+    leaf_key = key_algorithm::mldsa_44;
+  }
 
   certificate_spec spec;
   spec.issuer = child_issuer;
@@ -547,14 +613,17 @@ x509::chain ecosystem::issue_other(const std::string& domain, rng& r,
 }
 
 x509::chain ecosystem::issue_cruise_liner(const std::string& domain,
-                                          std::size_t san_count,
-                                          rng& r) const {
+                                          std::size_t san_count, rng& r,
+                                          x509::pq_profile pq) const {
   const chain_profile& base = profile("cpanel");
+  const auto& parents =
+      pq == x509::pq_profile::pqc_full ? base.parents_pqc : base.parents;
   certificate_spec spec;
-  spec.issuer = base.parents.front()->subject();
+  spec.issuer = parents.front()->subject();
   spec.subject = distinguished_name::cn(domain);
-  spec.key_alg = key_algorithm::rsa_2048;
-  spec.sig_alg = x509::signature_by(base.parents.front()->key_alg());
+  spec.key_alg = pq == x509::pq_profile::classical ? key_algorithm::rsa_2048
+                                                   : key_algorithm::mldsa_44;
+  spec.sig_alg = x509::signature_by(parents.front()->key_alg());
   std::vector<std::string> sans;
   sans.reserve(san_count + 1);
   sans.push_back(domain);
@@ -576,7 +645,7 @@ x509::chain ecosystem::issue_cruise_liner(const std::string& domain,
       x509::make_sct_list(3, r),
   };
   certificate leaf{std::move(spec), r};
-  return x509::chain{std::move(leaf), base.parents};
+  return x509::chain{std::move(leaf), parents};
 }
 
 bytes ecosystem::compression_dictionary() const {

@@ -49,6 +49,12 @@ struct chain_profile {
   /// Share of HTTPS-only services using this chain (Fig. 7b), fraction.
   double https_share = 0.0;
   leaf_profile leaf;
+  /// ML-DSA twins of `parents` (same hierarchy and served order), used
+  /// when issuing under x509::pq_profile::pqc_full. Built by make()
+  /// from a dedicated rng stream, so the classical parents — and every
+  /// golden figure derived from them — are byte-identical with or
+  /// without the PQC axis.
+  std::vector<std::shared_ptr<const x509::certificate>> parents_pqc;
 
   /// Sum of parent DER sizes (the white boxes of Fig. 7).
   [[nodiscard]] std::size_t parent_wire_size() const;
@@ -59,6 +65,11 @@ struct other_chain_options {
   /// True for QUIC-flavoured tails (smaller, more ECDSA — Table 2),
   /// false for HTTPS-only flavour (larger, RSA-heavy).
   bool quic_flavor = true;
+  /// Chain profile to issue under. The generator consumes the same
+  /// random draws for every profile, so a record's tail chain keeps its
+  /// depth, SAN mix and hierarchy across profiles — only the key and
+  /// signature material changes.
+  x509::pq_profile pq = x509::pq_profile::classical;
 };
 
 /// The modelled CA universe.
@@ -76,9 +87,13 @@ class ecosystem {
   [[nodiscard]] const chain_profile& profile(std::string_view id) const;
 
   /// Issues a leaf for `domain` under the given profile and returns the
-  /// served chain (leaf + shared parents). Deterministic in `r`.
-  [[nodiscard]] x509::chain issue(const chain_profile& profile,
-                                  const std::string& domain, rng& r) const;
+  /// served chain (leaf + shared parents). Deterministic in `r`. The
+  /// chain profile selects the PQC what-if stage: `pqc_leaf` swaps the
+  /// leaf key for ML-DSA-44, `pqc_full` additionally serves the ML-DSA
+  /// parent twins and post-quantum signatures.
+  [[nodiscard]] x509::chain issue(
+      const chain_profile& profile, const std::string& domain, rng& r,
+      x509::pq_profile pq = x509::pq_profile::classical) const;
 
   /// Issues a chain from the long tail of small CAs: random hierarchy
   /// depth 1-4, occasionally a superfluous trust anchor, and rare
@@ -88,9 +103,9 @@ class ecosystem {
 
   /// Issues a "cruise-liner" leaf (Appendix E): a SAN-heavy certificate
   /// whose SAN count follows a bounded-Pareto distribution.
-  [[nodiscard]] x509::chain issue_cruise_liner(const std::string& domain,
-                                               std::size_t san_count,
-                                               rng& r) const;
+  [[nodiscard]] x509::chain issue_cruise_liner(
+      const std::string& domain, std::size_t san_count, rng& r,
+      x509::pq_profile pq = x509::pq_profile::classical) const;
 
   /// Shared compression dictionary: every named parent certificate,
   /// well-known CT log ids and common OID/URL/name fragments — the role

@@ -19,6 +19,12 @@ std::size_t alg_index(x509::key_algorithm a) {
       return 2;
     case x509::key_algorithm::ecdsa_p384:
       return 3;
+    case x509::key_algorithm::mldsa_44:
+      return 4;
+    case x509::key_algorithm::mldsa_65:
+      return 5;
+    case x509::key_algorithm::mldsa_87:
+      return 6;
   }
   return 0;
 }
@@ -43,9 +49,22 @@ struct profile_accumulator {
 
 }  // namespace
 
+double share_over_amp_limit(const stats::sample_set& quic,
+                            const stats::sample_set& https) {
+  const std::size_t all = quic.size() + https.size();
+  if (all == 0) {
+    return 0.0;
+  }
+  const double over =
+      quic.fraction_above(kAmpLimitBytes) * static_cast<double>(quic.size()) +
+      https.fraction_above(kAmpLimitBytes) * static_cast<double>(https.size());
+  return over / static_cast<double>(all);
+}
+
 const std::array<std::string, kAlgClasses>& alg_class_names() {
   static const std::array<std::string, kAlgClasses> names = {
-      "RSA-2048", "RSA-4096", "ECDSA-256", "ECDSA-384"};
+      "RSA-2048",  "RSA-4096",  "ECDSA-256", "ECDSA-384",
+      "ML-DSA-44", "ML-DSA-65", "ML-DSA-87"};
   return names;
 }
 
@@ -86,7 +105,8 @@ corpus_result analyze_corpus(const internet::model& m,
       sample.size(), exec,
       [&](std::size_t i) {
         return internet::fetch_chain(m, opt.chains, m.records()[sample[i]],
-                                     internet::fetch_protocol::https);
+                                     internet::fetch_protocol::https,
+                                     opt.profile);
       },
       [&](std::size_t i, x509::chain&& chain) {
         const auto& rec = m.records()[sample[i]];
@@ -154,16 +174,8 @@ corpus_result analyze_corpus(const internet::model& m,
 
   // "35% of all certificate chains exceed even the larger of the two
   // common amplification limits (3x1357)".
-  const std::size_t all =
-      out.quic_chain_sizes.size() + out.https_chain_sizes.size();
-  if (all > 0) {
-    const double over =
-        out.quic_chain_sizes.fraction_above(3.0 * 1357.0) *
-            static_cast<double>(out.quic_chain_sizes.size()) +
-        out.https_chain_sizes.fraction_above(3.0 * 1357.0) *
-            static_cast<double>(out.https_chain_sizes.size());
-    out.all_chains_over_4071 = over / static_cast<double>(all);
-  }
+  out.all_chains_over_4071 =
+      share_over_amp_limit(out.quic_chain_sizes, out.https_chain_sizes);
 
   // Fig. 7 rows: top-10 by share, largest first.
   auto build_rows = [](std::map<std::string, profile_accumulator>& profiles,

@@ -14,8 +14,14 @@
 
 namespace certquic::core {
 
-/// The key-algorithm classes of Table 2, in display order.
-inline constexpr std::size_t kAlgClasses = 4;  // RSA2048/RSA4096/EC256/EC384
+/// The key-algorithm classes of Table 2 in display order — the four
+/// classical classes of the paper followed by the ML-DSA classes of the
+/// PQC what-if axis. Under the default `classical` profile the ML-DSA
+/// counts are always zero, and Table 2 renders only the first
+/// `kClassicalAlgClasses` columns (the published table, goldens
+/// unchanged).
+inline constexpr std::size_t kClassicalAlgClasses = 4;
+inline constexpr std::size_t kAlgClasses = 7;
 
 struct corpus_options {
   /// 0 = analyse every TLS service; otherwise a deterministic sample.
@@ -24,6 +30,9 @@ struct corpus_options {
   /// run the compression study over the same TLS sample pass one cache
   /// so each chain is issued exactly once across both studies.
   const internet::chain_cache* chains = nullptr;
+  /// Chain profile the corpus is materialized under (the PQC what-if
+  /// switch); `classical` reproduces every published number.
+  x509::pq_profile profile = x509::pq_profile::classical;
 };
 
 /// One Fig. 7 row, measured from the corpus.
@@ -78,6 +87,17 @@ struct corpus_result {
 [[nodiscard]] corpus_result analyze_corpus(const internet::model& m,
                                            const corpus_options& opt,
                                            const engine::options& exec = {});
+
+/// The larger of the two common amplification budgets, 3x1357 bytes —
+/// the threshold behind the paper's "35% of all chains exceed it".
+inline constexpr double kAmpLimitBytes = 3.0 * 1357.0;
+
+/// Share of all sized chains above kAmpLimitBytes, weighted across the
+/// QUIC and HTTPS-only corpus sides (QUIC term first). Shared by
+/// analyze_corpus and the PQC study so the two can never diverge; 0
+/// when both sets are empty.
+[[nodiscard]] double share_over_amp_limit(const stats::sample_set& quic,
+                                          const stats::sample_set& https);
 
 /// Display names for the Table 2 algorithm classes.
 [[nodiscard]] const std::array<std::string, kAlgClasses>& alg_class_names();

@@ -61,6 +61,21 @@ struct unit_outcome {
 /// The execution-backend interface. Implementations hold only
 /// immutable run inputs; run_shard must be safe to call concurrently
 /// for distinct shards.
+///
+/// Shard-partition invariants (what makes backend runs reproducible):
+///  1. The unit→shard partition is a pure function of the plan and the
+///     backend — unit k belongs to shard k / units_per_shard() — and
+///     never of the thread count, which only decides how many shard
+///     worlds are alive at once.
+///  2. Each shard's randomness derives from shard_seed(base_seed(),
+///     shard index) plus per-unit seeds carried in the plan; nothing a
+///     shard draws depends on scheduling or on other shards.
+///  3. Units within a shard run in ascending order inside one world,
+///     so shared-world interactions (slot reuse, telescope state) are
+///     part of the plan, not of the execution.
+/// Together these guarantee bit-identical aggregates at 1, 2 or N
+/// threads — the property engine_test/backend_test pin at 1/2/8 and
+/// `tools/verify.sh --threads N` enforces on the golden outputs.
 class probe_backend {
  public:
   virtual ~probe_backend() = default;
@@ -86,7 +101,13 @@ class probe_backend {
 
 /// Drives a backend on the engine pool: shards execute concurrently,
 /// outcomes stream to consume(unit_index, outcome) in unit order on the
-/// calling thread.
+/// calling thread. consume therefore needs no locking and may hold
+/// mutable aggregation state; it observes every unit exactly once, in
+/// ascending order, regardless of how shards were scheduled. For
+/// stateless backends (units_per_shard() == 0) the driver chunks
+/// freely — the partition cannot influence results — while a non-zero
+/// value is honoured exactly, because it is part of the experiment's
+/// semantics.
 template <typename Consume>
 void run_backend(const probe_backend& backend, const options& opt,
                  Consume&& consume) {
@@ -126,10 +147,12 @@ void run_backend(const probe_backend& backend, const options& opt,
 
 class reach_backend final : public probe_backend {
  public:
-  /// Runs `plan`'s cross product over the resolved sample. Plans with
-  /// more than one variant visit each service repeatedly, so chain
-  /// materialization is memoized behind a thread-safe cache; results
-  /// are bit-identical either way.
+  /// Runs `plan`'s cross product over the resolved sample, variant-
+  /// major (unit k probes service k % sample under variant k / sample).
+  /// Plans with more than one variant visit each service repeatedly, so
+  /// chain materialization is memoized behind a thread-safe cache keyed
+  /// by (record, protocol, chain profile); results are bit-identical
+  /// either way.
   reach_backend(const internet::model& m, const probe_plan& plan,
                 const std::vector<std::uint32_t>& sampled);
 

@@ -57,6 +57,7 @@ scan::probe_options probe_variant::to_probe_options() const {
   opt.initial_size = initial_size;
   opt.offer_compression = offer_compression;
   opt.capture_certificate = capture_certificate;
+  opt.chain_profile = chain_profile;
   opt.send_acks = ack != quic::ack_policy::none;
   opt.ack_delay =
       ack == quic::ack_policy::instant ? 0 : net::milliseconds(1);
@@ -90,6 +91,16 @@ probe_plan& probe_plan::sweep_ack_policies(std::size_t initial_size) {
     probe_variant v;
     v.initial_size = initial_size;
     v.ack = policy;
+    variants.push_back(std::move(v));
+  }
+  return *this;
+}
+
+probe_plan& probe_plan::sweep_chain_profiles(std::size_t initial_size) {
+  for (const x509::pq_profile profile : x509::all_pq_profiles()) {
+    probe_variant v;
+    v.initial_size = initial_size;
+    v.chain_profile = profile;
     variants.push_back(std::move(v));
   }
   return *this;

@@ -46,6 +46,11 @@ struct probe_variant {
   quic::ack_policy ack = quic::ack_policy::delayed;
   /// Retain the raw Certificate message (QScanner mode).
   bool capture_certificate = false;
+  /// Server-side chain-profile axis (the PQC what-if sweep): which
+  /// chain profile the probed services serve their certificates under.
+  /// A world transform rather than a client knob — the default keeps
+  /// every existing plan, and thus every golden, byte-identical.
+  x509::pq_profile chain_profile = x509::pq_profile::classical;
   /// Observation deadline override; unset keeps the client default.
   std::optional<net::duration> timeout;
   /// Stream separator mixed into the per-probe seed so repeated visits
@@ -84,6 +89,13 @@ struct probe_plan {
   /// Appends one variant per client ACK policy (delayed, instant,
   /// none), all at `initial_size` — the ReACKed-QUICer axis.
   probe_plan& sweep_ack_policies(std::size_t initial_size = 1362);
+
+  /// Appends one variant per chain profile (classical, pqc_leaf,
+  /// pqc_full), all at `initial_size` — the PQC what-if axis. With
+  /// base_seed and salt at zero, every profile probes a service under
+  /// its historical record-derived randomness, so the three runs form
+  /// matched pairs and per-class deltas isolate the chain-size effect.
+  probe_plan& sweep_chain_profiles(std::size_t initial_size = 1362);
 };
 
 /// Per-probe deterministic seed: identical regardless of shard count or

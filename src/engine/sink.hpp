@@ -33,6 +33,28 @@ struct probe_record {
 };
 
 /// Aggregator interface: every study is one of these.
+///
+/// Lifecycle invariants (what sink implementations may rely on):
+///  1. on_begin fires exactly once per run, before any record — also
+///     on empty runs — with the plan and the resolved sample size, so
+///     aggregators can pre-reserve for sampled * variants records.
+///  2. on_record fires exactly once per probe, strictly in plan order
+///     (variant-major: all services under variants[0], then
+///     variants[1], ...), always on the executor's calling thread.
+///     Sinks therefore never need locking, and parallel runs aggregate
+///     bit-identically to serial ones.
+///  3. on_end fires exactly once, after the last record, also on empty
+///     runs. A run that throws (from a worker or the sink itself)
+///     aborts without on_end — a sink that observed on_end has seen
+///     the complete stream.
+///  4. The references inside a probe_record are borrowed: record and
+///     variant point into the model and plan, the result into the
+///     executor's buffer. None survive the on_record call; copy what
+///     you keep.
+/// Composing sinks preserve all four: tee_sink forwards each call to
+/// every child in construction order, filter_sink gates only
+/// on_record, and spill_sink writes the stream to disk such that
+/// spill_reader replays it through any sink with the same guarantees.
 class observation_sink {
  public:
   virtual ~observation_sink() = default;

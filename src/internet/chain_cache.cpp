@@ -3,11 +3,14 @@
 namespace certquic::internet {
 
 std::shared_ptr<const x509::chain> chain_cache::chain_of(
-    const service_record& rec, fetch_protocol proto) const {
+    const service_record& rec, fetch_protocol proto,
+    x509::pq_profile pq) const {
   // Ranks are 1-based and unique across the population, so (rank,
-  // protocol) identifies the materialization exactly.
-  const std::uint64_t key = (static_cast<std::uint64_t>(rec.rank) << 1) |
-                            (proto == fetch_protocol::quic ? 1u : 0u);
+  // protocol, profile) identifies the materialization exactly; the
+  // profile occupies two low bits so a key never aliases.
+  const std::uint64_t key = (static_cast<std::uint64_t>(rec.rank) << 3) |
+                            (proto == fetch_protocol::quic ? 4u : 0u) |
+                            static_cast<std::uint64_t>(pq);
   {
     const std::lock_guard<std::mutex> lock{mu_};
     if (const auto it = chains_.find(key); it != chains_.end()) {
@@ -18,7 +21,8 @@ std::shared_ptr<const x509::chain> chain_cache::chain_of(
   // Materialize outside the lock: issuance is the expensive part and
   // deterministic, so a racing duplicate is wasted work, never a wrong
   // answer.
-  auto chain = std::make_shared<const x509::chain>(model_.chain_of(rec, proto));
+  auto chain =
+      std::make_shared<const x509::chain>(model_.chain_of(rec, proto, pq));
   const std::lock_guard<std::mutex> lock{mu_};
   const auto [it, inserted] = chains_.emplace(key, std::move(chain));
   if (inserted) {

@@ -1,12 +1,13 @@
 // Thread-safe memoization of model::chain_of, keyed by (record, fetch
-// protocol). Chain materialization — synthetic issuance plus DER
-// encoding — is the hot path of repeat-visit plans (the tuner probes
-// every service twice, multi-variant sweeps probe it once per variant)
-// and of combined corpus/compression drivers that walk the same TLS
-// sample. Since chain_of is a pure function of the record and protocol,
-// concurrent misses may race to materialize the same chain; every
-// racer produces identical bytes, so the first insert wins and all
-// callers observe the same chain.
+// protocol, chain profile). Chain materialization — synthetic issuance
+// plus DER encoding — is the hot path of repeat-visit plans (the tuner
+// probes every service twice, multi-variant sweeps probe it once per
+// variant, the PQC study visits every service once per profile) and of
+// combined corpus/compression drivers that walk the same TLS sample.
+// Since chain_of is a pure function of the key, concurrent misses may
+// race to materialize the same chain; every racer produces identical
+// bytes, so the first insert wins and all callers observe the same
+// chain.
 #pragma once
 
 #include <atomic>
@@ -26,10 +27,12 @@ class chain_cache {
   chain_cache(const chain_cache&) = delete;
   chain_cache& operator=(const chain_cache&) = delete;
 
-  /// The chain `rec` serves over `proto`, materialized at most once per
-  /// key. Safe to call concurrently from engine workers.
+  /// The chain `rec` serves over `proto` under chain profile `pq`,
+  /// materialized at most once per key. Safe to call concurrently from
+  /// engine workers.
   [[nodiscard]] std::shared_ptr<const x509::chain> chain_of(
-      const service_record& rec, fetch_protocol proto) const;
+      const service_record& rec, fetch_protocol proto,
+      x509::pq_profile pq = x509::pq_profile::classical) const;
 
   [[nodiscard]] const model& population() const noexcept { return model_; }
 
@@ -52,12 +55,12 @@ class chain_cache {
 /// Cache-aware fetch shared by every chain consumer: goes through
 /// `cache` when one is provided, else materializes directly. Keeps the
 /// optional-cache dispatch in one place.
-[[nodiscard]] inline x509::chain fetch_chain(const model& m,
-                                             const chain_cache* cache,
-                                             const service_record& rec,
-                                             fetch_protocol proto) {
-  return cache != nullptr ? *cache->chain_of(rec, proto)
-                          : m.chain_of(rec, proto);
+[[nodiscard]] inline x509::chain fetch_chain(
+    const model& m, const chain_cache* cache, const service_record& rec,
+    fetch_protocol proto,
+    x509::pq_profile pq = x509::pq_profile::classical) {
+  return cache != nullptr ? *cache->chain_of(rec, proto, pq)
+                          : m.chain_of(rec, proto, pq);
 }
 
 }  // namespace certquic::internet

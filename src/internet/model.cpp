@@ -258,8 +258,8 @@ std::size_t model::rank_group(const service_record& r) const {
   return std::min<std::size_t>((r.rank - 1) / group_size, kRankGroups - 1);
 }
 
-x509::chain model::chain_of(const service_record& rec,
-                            fetch_protocol proto) const {
+x509::chain model::chain_of(const service_record& rec, fetch_protocol proto,
+                            x509::pq_profile pq) const {
   if (!rec.serves_tls()) {
     throw config_error("chain_of: record serves no TLS: " + rec.domain);
   }
@@ -269,18 +269,18 @@ x509::chain model::chain_of(const service_record& rec,
   rng r{rotate ? rec.seed ^ 0x0707'0707ULL : rec.seed};
 
   if (rec.cruise_sans > 0) {
-    return eco_.issue_cruise_liner(rec.domain, rec.cruise_sans, r);
+    return eco_.issue_cruise_liner(rec.domain, rec.cruise_sans, r, pq);
   }
   if (rec.chain_profile == "other") {
-    return eco_.issue_other(rec.domain, r,
-                            {.quic_flavor = rec.serves_quic()});
+    return eco_.issue_other(
+        rec.domain, r, {.quic_flavor = rec.serves_quic(), .pq = pq});
   }
   ca::chain_profile profile = eco_.profile(rec.chain_profile);
   if (rec.force_rsa_leaf) {
     profile.leaf.key_alg = x509::key_algorithm::rsa_2048;
     profile.leaf.rsa_mix = 0.0;
   }
-  return eco_.issue(profile, rec.domain, r);
+  return eco_.issue(profile, rec.domain, r, pq);
 }
 
 quic::server_behavior model::behavior_of(const service_record& rec) const {

@@ -123,9 +123,14 @@ class model {
 
   /// Deterministically materializes the chain a record serves over the
   /// given protocol. Rotated services yield a different (re-issued)
-  /// leaf over QUIC than over HTTPS.
-  [[nodiscard]] x509::chain chain_of(const service_record& r,
-                                     fetch_protocol proto) const;
+  /// leaf over QUIC than over HTTPS. `pq` selects the chain profile of
+  /// the PQC what-if axis; the default reproduces today's chains
+  /// byte-for-byte, and a record's chain structure (hierarchy, SANs)
+  /// is held fixed across profiles so per-record size deltas isolate
+  /// the algorithm change.
+  [[nodiscard]] x509::chain chain_of(
+      const service_record& r, fetch_protocol proto,
+      x509::pq_profile pq = x509::pq_profile::classical) const;
 
   /// Server behaviour profile for a QUIC record.
   [[nodiscard]] quic::server_behavior behavior_of(

@@ -28,7 +28,8 @@ probe_result reach::probe(const internet::service_record& rec,
   quic::server srv{sim,
                    server_ep,
                    internet::fetch_chain(model_, cache_, rec,
-                                         internet::fetch_protocol::quic),
+                                         internet::fetch_protocol::quic,
+                                         opt.chain_profile),
                    model_.behavior_of(rec),
                    model_.compression_dictionary(),
                    seed ^ 0x5e4};

@@ -21,6 +21,10 @@ struct probe_options {
   std::vector<compress::algorithm> offer_compression{};
   /// QScanner mode: retain the raw certificate message.
   bool capture_certificate = false;
+  /// Chain profile the probed server materializes its certificates
+  /// under — the server-side PQC what-if axis. `classical` reproduces
+  /// today's Internet (and every golden figure).
+  x509::pq_profile chain_profile = x509::pq_profile::classical;
   /// False imitates an adversary / ZMap probe: never acknowledge.
   bool send_acks = true;
   /// Delay before acknowledging a burst; 0 is the instant-ACK client

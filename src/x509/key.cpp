@@ -52,7 +52,87 @@ bytes ecdsa_signature(std::size_t coord_bytes, rng& r) {
   });
 }
 
+// ML-DSA public-key and signature byte sizes per FIPS 204 (Table 2 of
+// the standard); the quantities that make PQC chains blow through the
+// QUIC amplification budgets.
+struct mldsa_params {
+  const asn1::oid& oid;
+  std::size_t public_key_bytes;
+  std::size_t signature_bytes;
+};
+
+const mldsa_params& mldsa_of(key_algorithm a) {
+  static const mldsa_params k44{oids::ml_dsa_44, 1312, 2420};
+  static const mldsa_params k65{oids::ml_dsa_65, 1952, 3309};
+  static const mldsa_params k87{oids::ml_dsa_87, 2592, 4627};
+  switch (a) {
+    case key_algorithm::mldsa_44:
+      return k44;
+    case key_algorithm::mldsa_65:
+      return k65;
+    case key_algorithm::mldsa_87:
+      return k87;
+    default:
+      throw config_error("mldsa_of: not an ML-DSA key algorithm");
+  }
+}
+
+const mldsa_params& mldsa_of(signature_algorithm a) {
+  switch (a) {
+    case signature_algorithm::mldsa_44:
+      return mldsa_of(key_algorithm::mldsa_44);
+    case signature_algorithm::mldsa_65:
+      return mldsa_of(key_algorithm::mldsa_65);
+    case signature_algorithm::mldsa_87:
+      return mldsa_of(key_algorithm::mldsa_87);
+    default:
+      throw config_error("mldsa_of: not an ML-DSA signature algorithm");
+  }
+}
+
+bytes encode_mldsa_spki(key_algorithm a, rng& r) {
+  // ML-DSA AlgorithmIdentifiers carry no parameters, and the key is the
+  // raw encoded public key inside the BIT STRING.
+  const mldsa_params& p = mldsa_of(a);
+  bytes key(p.public_key_bytes);
+  r.fill(key);
+  const bytes alg = asn1::sequence({asn1::encode_oid(p.oid)});
+  return asn1::sequence({alg, asn1::encode_bit_string(key)});
+}
+
 }  // namespace
+
+bool is_post_quantum(key_algorithm a) noexcept {
+  return a == key_algorithm::mldsa_44 || a == key_algorithm::mldsa_65 ||
+         a == key_algorithm::mldsa_87;
+}
+
+const std::array<pq_profile, 3>& all_pq_profiles() noexcept {
+  static const std::array<pq_profile, 3> profiles = {
+      pq_profile::classical, pq_profile::pqc_leaf, pq_profile::pqc_full};
+  return profiles;
+}
+
+std::string to_string(pq_profile p) {
+  switch (p) {
+    case pq_profile::classical:
+      return "classical";
+    case pq_profile::pqc_leaf:
+      return "pqc_leaf";
+    case pq_profile::pqc_full:
+      return "pqc_full";
+  }
+  throw config_error("unknown pq_profile");
+}
+
+pq_profile parse_pq_profile(std::string_view name) {
+  for (const pq_profile p : all_pq_profiles()) {
+    if (to_string(p) == name) {
+      return p;
+    }
+  }
+  throw config_error("unknown pq_profile: " + std::string(name));
+}
 
 std::string to_string(key_algorithm a) {
   switch (a) {
@@ -64,6 +144,12 @@ std::string to_string(key_algorithm a) {
       return "ECDSA-P256";
     case key_algorithm::ecdsa_p384:
       return "ECDSA-P384";
+    case key_algorithm::mldsa_44:
+      return "ML-DSA-44";
+    case key_algorithm::mldsa_65:
+      return "ML-DSA-65";
+    case key_algorithm::mldsa_87:
+      return "ML-DSA-87";
   }
   throw config_error("unknown key_algorithm");
 }
@@ -78,6 +164,12 @@ std::string to_string(signature_algorithm a) {
       return "ecdsa-with-SHA256";
     case signature_algorithm::ecdsa_sha384:
       return "ecdsa-with-SHA384";
+    case signature_algorithm::mldsa_44:
+      return "ML-DSA-44";
+    case signature_algorithm::mldsa_65:
+      return "ML-DSA-65";
+    case signature_algorithm::mldsa_87:
+      return "ML-DSA-87";
   }
   throw config_error("unknown signature_algorithm");
 }
@@ -92,6 +184,12 @@ signature_algorithm signature_by(key_algorithm issuer_key) {
       return signature_algorithm::ecdsa_sha256;
     case key_algorithm::ecdsa_p384:
       return signature_algorithm::ecdsa_sha384;
+    case key_algorithm::mldsa_44:
+      return signature_algorithm::mldsa_44;
+    case key_algorithm::mldsa_65:
+      return signature_algorithm::mldsa_65;
+    case key_algorithm::mldsa_87:
+      return signature_algorithm::mldsa_87;
   }
   throw config_error("unknown issuer key_algorithm");
 }
@@ -109,6 +207,11 @@ bytes encode_signature_algorithm(signature_algorithm a) {
       return asn1::sequence({asn1::encode_oid(oids::ecdsa_with_sha256)});
     case signature_algorithm::ecdsa_sha384:
       return asn1::sequence({asn1::encode_oid(oids::ecdsa_with_sha384)});
+    case signature_algorithm::mldsa_44:
+    case signature_algorithm::mldsa_65:
+    case signature_algorithm::mldsa_87:
+      // ML-DSA AlgorithmIdentifiers have absent parameters.
+      return asn1::sequence({asn1::encode_oid(mldsa_of(a).oid)});
   }
   throw config_error("unknown signature_algorithm");
 }
@@ -123,6 +226,10 @@ bytes encode_spki(key_algorithm a, rng& r) {
       return encode_ec_spki(oids::curve_p256, 32, r);
     case key_algorithm::ecdsa_p384:
       return encode_ec_spki(oids::curve_p384, 48, r);
+    case key_algorithm::mldsa_44:
+    case key_algorithm::mldsa_65:
+    case key_algorithm::mldsa_87:
+      return encode_mldsa_spki(a, r);
   }
   throw config_error("unknown key_algorithm");
 }
@@ -137,6 +244,14 @@ bytes encode_signature_value(signature_algorithm a, rng& r) {
       return asn1::encode_bit_string(ecdsa_signature(32, r));
     case signature_algorithm::ecdsa_sha384:
       return asn1::encode_bit_string(ecdsa_signature(48, r));
+    case signature_algorithm::mldsa_44:
+    case signature_algorithm::mldsa_65:
+    case signature_algorithm::mldsa_87: {
+      // The ML-DSA signature is a fixed-size opaque byte string.
+      bytes sig(mldsa_of(a).signature_bytes);
+      r.fill(sig);
+      return asn1::encode_bit_string(sig);
+    }
   }
   throw config_error("unknown signature_algorithm");
 }

@@ -19,6 +19,13 @@ inline const asn1::oid ec_public_key{1, 2, 840, 10045, 2, 1};
 inline const asn1::oid curve_p256{1, 2, 840, 10045, 3, 1, 7};
 inline const asn1::oid curve_p384{1, 3, 132, 0, 34};
 
+// --- Post-quantum signature algorithms (NIST CSOR, FIPS 204) ---
+// ML-DSA uses one OID per parameter set for both the key and the
+// signature AlgorithmIdentifier.
+inline const asn1::oid ml_dsa_44{2, 16, 840, 1, 101, 3, 4, 3, 17};
+inline const asn1::oid ml_dsa_65{2, 16, 840, 1, 101, 3, 4, 3, 18};
+inline const asn1::oid ml_dsa_87{2, 16, 840, 1, 101, 3, 4, 3, 19};
+
 // --- Signature algorithms ---
 inline const asn1::oid sha256_with_rsa{1, 2, 840, 113549, 1, 1, 11};
 inline const asn1::oid sha384_with_rsa{1, 2, 840, 113549, 1, 1, 12};

@@ -53,6 +53,8 @@ TEST(Golden, Tab01BrowserProfiles) { check_bench("tab01_browser_profiles"); }
 
 TEST(Golden, Tab02CryptoAlgorithms) { check_bench("tab02_crypto_algorithms"); }
 
+TEST(Golden, FigPqcChainImpact) { check_bench("fig_pqc_chain_impact"); }
+
 }  // namespace
 }  // namespace certquic::test
 

@@ -1,0 +1,126 @@
+// Tier-1 suite for the PQC chain-profile axis: the study must be
+// bit-identical at 1, 2 and 8 threads, the classical slice must
+// reproduce the existing corpus (fig06) numbers exactly, and the
+// (record, protocol, profile) chain cache must keep profiles apart.
+#include <gtest/gtest.h>
+
+#include "core/certificates.hpp"
+#include "core/pqc_study.hpp"
+#include "internet/chain_cache.hpp"
+
+namespace certquic::core {
+namespace {
+
+const internet::model& shared_model() {
+  static const internet::model m =
+      internet::model::generate({.domains = 2000, .seed = 42});
+  return m;
+}
+
+pqc_study_result run_study(std::size_t threads) {
+  pqc_options opt;
+  opt.max_services = 150;
+  opt.max_corpus = 300;
+  return run_pqc_study(shared_model(), opt, {.threads = threads});
+}
+
+void expect_identical_sets(const stats::sample_set& a,
+                           const stats::sample_set& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (a.empty()) {
+    return;
+  }
+  // Bit-identical, not approximately equal: the whole point of the
+  // engine's determinism contract. Quantiles first — they sort both
+  // sets in place, so the mean then sums in one canonical order
+  // (sample_set::mean adds in storage order, which earlier queries may
+  // have re-sorted).
+  EXPECT_EQ(a.median(), b.median());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.mean(), b.mean());
+}
+
+TEST(PqcStudy, BitIdenticalAcrossThreadCounts) {
+  const auto serial = run_study(1);
+  ASSERT_EQ(serial.slices.size(), 3u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto parallel = run_study(threads);
+    ASSERT_EQ(parallel.slices.size(), serial.slices.size());
+    for (std::size_t i = 0; i < serial.slices.size(); ++i) {
+      const auto& s = serial.slices[i];
+      const auto& p = parallel.slices[i];
+      EXPECT_EQ(p.profile, s.profile);
+      EXPECT_EQ(p.probed, s.probed);
+      EXPECT_EQ(p.counts, s.counts);
+      EXPECT_EQ(p.over_amp_limit, s.over_amp_limit);
+      expect_identical_sets(p.quic_chain_sizes, s.quic_chain_sizes);
+      expect_identical_sets(p.https_chain_sizes, s.https_chain_sizes);
+      expect_identical_sets(p.amplification, s.amplification);
+    }
+  }
+}
+
+TEST(PqcStudy, ClassicalReproducesCorpusChainSizes) {
+  // The classical slice of the study walks the same deterministic TLS
+  // sample as analyze_corpus — the fig06 aggregator — so its chain-size
+  // distributions must match that study bit-for-bit.
+  const auto corpus = analyze_corpus(shared_model(), {.max_services = 300});
+  const auto study = run_study(0);
+  const auto& classical = study.slice(x509::pq_profile::classical);
+  expect_identical_sets(classical.quic_chain_sizes, corpus.quic_chain_sizes);
+  expect_identical_sets(classical.https_chain_sizes,
+                        corpus.https_chain_sizes);
+  EXPECT_EQ(classical.over_amp_limit, corpus.all_chains_over_4071);
+}
+
+TEST(PqcStudy, ProfilesShiftSizesAndClassesMonotonically) {
+  const auto study = run_study(0);
+  const auto& classical = study.slice(x509::pq_profile::classical);
+  const auto& leaf = study.slice(x509::pq_profile::pqc_leaf);
+  const auto& full = study.slice(x509::pq_profile::pqc_full);
+  EXPECT_LT(classical.quic_chain_sizes.median(),
+            leaf.quic_chain_sizes.median());
+  EXPECT_LT(leaf.quic_chain_sizes.median(), full.quic_chain_sizes.median());
+  EXPECT_LE(classical.over_amp_limit, leaf.over_amp_limit);
+  EXPECT_LE(leaf.over_amp_limit, full.over_amp_limit);
+  // Bigger chains can only push handshakes out of 1-RTT.
+  EXPECT_LE(full.count(scan::handshake_class::one_rtt),
+            classical.count(scan::handshake_class::one_rtt));
+  // Every profile probed the same services.
+  EXPECT_EQ(classical.probed, leaf.probed);
+  EXPECT_EQ(classical.probed, full.probed);
+}
+
+TEST(ChainCache, KeysIncludeChainProfile) {
+  const auto& m = shared_model();
+  const internet::service_record* rec = nullptr;
+  for (const auto& r : m.records()) {
+    if (r.serves_tls()) {
+      rec = &r;
+      break;
+    }
+  }
+  ASSERT_NE(rec, nullptr);
+
+  internet::chain_cache cache{m};
+  const auto classical =
+      cache.chain_of(*rec, internet::fetch_protocol::https);
+  const auto full = cache.chain_of(*rec, internet::fetch_protocol::https,
+                                   x509::pq_profile::pqc_full);
+  EXPECT_NE(classical.get(), full.get());
+  EXPECT_LT(classical->wire_size(), full->wire_size());
+  EXPECT_EQ(cache.size(), 2u);
+  // Repeat lookups hit the memoized entries.
+  EXPECT_EQ(cache.chain_of(*rec, internet::fetch_protocol::https).get(),
+            classical.get());
+  EXPECT_EQ(cache
+                .chain_of(*rec, internet::fetch_protocol::https,
+                          x509::pq_profile::pqc_full)
+                .get(),
+            full.get());
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+}  // namespace
+}  // namespace certquic::core

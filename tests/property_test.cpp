@@ -6,14 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <iterator>
 
 #include "asn1/der.hpp"
+#include "ca/ecosystem.hpp"
 #include "compress/lz.hpp"
 #include "property.hpp"
 #include "quic/varint.hpp"
 #include "util/buffer.hpp"
 #include "util/errors.hpp"
+#include "x509/key.hpp"
+#include "x509/oids.hpp"
 
 namespace certquic {
 namespace {
@@ -225,6 +229,139 @@ TEST(LzProperty, LebVarintRoundTrip) {
     EXPECT_EQ(compress::read_varint(out, pos), v);
     EXPECT_EQ(pos, out.size());
   });
+}
+
+// --- x509 post-quantum encodings --------------------------------------
+
+TEST(PqcProperty, MlDsaSpkiDerRoundTripsAtFipsSizes) {
+  // The SPKI must parse as SEQUENCE { AlgorithmIdentifier, BIT STRING }
+  // with the CSOR OID and the exact FIPS 204 public-key length (+1 for
+  // the unused-bits octet) — the sizes the whole what-if study rests on.
+  struct mldsa_case {
+    x509::key_algorithm alg;
+    const asn1::oid& oid;
+    std::size_t public_key_bytes;
+  };
+  const mldsa_case cases[] = {
+      {x509::key_algorithm::mldsa_44, x509::oids::ml_dsa_44, 1312},
+      {x509::key_algorithm::mldsa_65, x509::oids::ml_dsa_65, 1952},
+      {x509::key_algorithm::mldsa_87, x509::oids::ml_dsa_87, 2592},
+  };
+  for_each_iteration(
+      [&](rng& r, std::size_t i) {
+        for (const auto& c : cases) {
+          const bytes spki = x509::encode_spki(c.alg, r);
+          buffer_reader rd(spki);
+          const asn1::tlv outer = asn1::read_tlv(rd);
+          ASSERT_TRUE(outer.is(asn1::tag::sequence)) << "iteration " << i;
+          EXPECT_TRUE(rd.empty());
+          const auto kids = asn1::children(outer);
+          ASSERT_EQ(kids.size(), 2u);
+          const auto alg_kids = asn1::children(kids[0]);
+          ASSERT_EQ(alg_kids.size(), 1u);  // absent parameters
+          EXPECT_EQ(asn1::decode_oid(alg_kids[0]), c.oid);
+          ASSERT_TRUE(kids[1].is(asn1::tag::bit_string));
+          EXPECT_EQ(kids[1].content.size(), c.public_key_bytes + 1);
+        }
+      },
+      16);
+}
+
+TEST(PqcProperty, MlDsaSignatureValueHasFipsSize) {
+  struct sig_case {
+    x509::signature_algorithm alg;
+    std::size_t signature_bytes;
+  };
+  const sig_case cases[] = {
+      {x509::signature_algorithm::mldsa_44, 2420},
+      {x509::signature_algorithm::mldsa_65, 3309},
+      {x509::signature_algorithm::mldsa_87, 4627},
+  };
+  for_each_iteration(
+      [&](rng& r, std::size_t i) {
+        for (const auto& c : cases) {
+          const bytes sig = x509::encode_signature_value(c.alg, r);
+          buffer_reader rd(sig);
+          const asn1::tlv t = asn1::read_tlv(rd);
+          ASSERT_TRUE(t.is(asn1::tag::bit_string)) << "iteration " << i;
+          EXPECT_EQ(t.content.size(), c.signature_bytes + 1);
+          EXPECT_TRUE(rd.empty());
+        }
+      },
+      16);
+}
+
+TEST(PqcProperty, ChainSizesGrowStrictlyWithProfile) {
+  // For any named hierarchy and any issuance randomness, the three
+  // chain profiles must order strictly: classical < pqc_leaf (ML-DSA
+  // leaf key dwarfs any classical SPKI) < pqc_full (parents and
+  // signatures go post-quantum too).
+  const auto eco = ca::ecosystem::make(0x77);
+  for_each_iteration(
+      [&](rng& r, std::size_t i) {
+        const auto& profile = eco.profiles()[static_cast<std::size_t>(
+            r.uniform(0, eco.profiles().size() - 1))];
+        const std::string domain = r.ascii_label(4, 12) + ".example";
+        const std::uint64_t seed = r.next();
+        std::array<std::size_t, 3> sizes{};
+        for (std::size_t p = 0; p < 3; ++p) {
+          rng issue_rng{seed};
+          sizes[p] = eco.issue(profile, domain, issue_rng,
+                               x509::all_pq_profiles()[p])
+                         .wire_size();
+        }
+        EXPECT_LT(sizes[0], sizes[1]) << "iteration " << i << " "
+                                      << profile.id;
+        EXPECT_LT(sizes[1], sizes[2]) << "iteration " << i << " "
+                                      << profile.id;
+      },
+      64);
+}
+
+TEST(PqcProperty, CruiseLinerChainSizesGrowStrictlyWithProfile) {
+  // The third profile-aware generator: SAN-heavy shared-hosting leaves
+  // must order strictly too, across the whole Pareto SAN range.
+  const auto eco = ca::ecosystem::make(0x79);
+  for_each_iteration(
+      [&](rng& r, std::size_t i) {
+        const std::string domain = r.ascii_label(4, 12) + ".example";
+        const std::size_t sans = r.uniform(8, 220);
+        const std::uint64_t seed = r.next();
+        std::array<std::size_t, 3> sizes{};
+        for (std::size_t p = 0; p < 3; ++p) {
+          rng issue_rng{seed};
+          sizes[p] = eco.issue_cruise_liner(domain, sans, issue_rng,
+                                            x509::all_pq_profiles()[p])
+                         .wire_size();
+        }
+        EXPECT_LT(sizes[0], sizes[1]) << "iteration " << i << " sans=" << sans;
+        EXPECT_LT(sizes[1], sizes[2]) << "iteration " << i << " sans=" << sans;
+      },
+      32);
+}
+
+TEST(PqcProperty, TailChainSizesGrowStrictlyWithProfile) {
+  // Same law for the long-tail generator: identical draws across
+  // profiles keep depth and SAN structure fixed, so sizes order
+  // strictly per issuance.
+  const auto eco = ca::ecosystem::make(0x78);
+  for_each_iteration(
+      [&](rng& r, std::size_t i) {
+        const std::string domain = r.ascii_label(4, 12) + ".example";
+        const bool quic_flavor = r.chance(0.5);
+        const std::uint64_t seed = r.next();
+        std::array<std::size_t, 3> sizes{};
+        for (std::size_t p = 0; p < 3; ++p) {
+          rng issue_rng{seed};
+          sizes[p] = eco.issue_other(domain, issue_rng,
+                                     {.quic_flavor = quic_flavor,
+                                      .pq = x509::all_pq_profiles()[p]})
+                         .wire_size();
+        }
+        EXPECT_LT(sizes[0], sizes[1]) << "iteration " << i;
+        EXPECT_LT(sizes[1], sizes[2]) << "iteration " << i;
+      },
+      64);
 }
 
 }  // namespace

@@ -2,22 +2,84 @@
 # Tier-1 verification gate — the exact command sequence from ROADMAP.md.
 # Exits nonzero on any configure, build or test failure.
 #
-# Usage: tools/verify.sh [--threads N] [extra ctest args...]
-#   tools/verify.sh                 # full tier-1 + tier-2 run
+# Usage: tools/verify.sh [--docs] [--threads N] [extra ctest args...]
+#   tools/verify.sh                 # full tier-1 + tier-2 run + docs check
 #   tools/verify.sh -L tier1        # tier-1 only
+#   tools/verify.sh --docs          # docs/golden-coverage check only (no build)
 #   tools/verify.sh --threads 8     # engine-determinism gate: runs tier-1
-#                                   # twice (CERTQUIC_THREADS=1 and =N) and
+#                                   # twice (CERTQUIC_THREADS=1 and =N),
 #                                   # diffs the golden bench outputs between
-#                                   # the serial and parallel engine runs
+#                                   # the serial and parallel engine runs,
+#                                   # then runs the docs check
+# Flags combine in any order; the docs check runs in every mode.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
+# Static documentation / golden-coverage check:
+#  * every golden file under tests/golden/ must correspond to exactly one
+#    bench target (bench/<name>.cpp) and be exercised by golden_test;
+#  * every relative markdown link in README.md and docs/ must resolve.
+docs_check() {
+  docs_status=0
+  for golden in tests/golden/*.txt; do
+    name=$(basename "$golden" .txt)
+    if [ ! -f "bench/$name.cpp" ]; then
+      echo "FAIL docs: $golden has no matching bench/$name.cpp target"
+      docs_status=1
+    fi
+    if ! grep -q "\"$name\"" tests/golden_test.cpp; then
+      echo "FAIL docs: $golden is not exercised by tests/golden_test.cpp"
+      docs_status=1
+    fi
+  done
+  for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    doc_dir=$(dirname "$doc")
+    # Markdown targets of the form ](path) — URLs and pure anchors skip.
+    for link in $(grep -o '](\([^)]*\))' "$doc" 2>/dev/null \
+                    | sed 's/^](//; s/)$//'); do
+      case $link in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+      esac
+      target=${link%%#*}
+      [ -n "$target" ] || continue
+      if [ ! -e "$doc_dir/$target" ]; then
+        echo "FAIL docs: $doc links to missing file: $link"
+        docs_status=1
+      fi
+    done
+  done
+  if [ "$docs_status" -eq 0 ]; then
+    echo "OK   docs: golden<->bench coverage and markdown links"
+  fi
+  return "$docs_status"
+}
+
+# Flags may appear in any order; everything unrecognized is passed on
+# to ctest.
+docs_only=0
 engine_threads=""
-if [ "${1:-}" = "--threads" ]; then
-  engine_threads=${2:?--threads needs a value}
-  shift 2
+while [ $# -gt 0 ]; do
+  case $1 in
+    --docs)
+      docs_only=1
+      shift
+      ;;
+    --threads)
+      engine_threads=${2:?--threads needs a value}
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+
+if [ "$docs_only" -eq 1 ] && [ -z "$engine_threads" ]; then
+  docs_check
+  exit $?
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -30,14 +92,16 @@ if [ -z "$engine_threads" ]; then
   # ROADMAP's bare `-j` greedily eats any following argument, so pass the
   # job count explicitly to keep extra ctest args (e.g. -L tier1) working.
   ctest --output-on-failure -j "$jobs" "$@"
-  exit 0
+  cd "$repo_root"
+  docs_check
+  exit $?
 fi
 
 # --threads N: the engine-determinism gate. Tier-1 must pass with the
-# serial engine and with N worker threads, and the five golden bench
-# binaries — plus fig09, whose spoofed-amplification pass now runs on
-# the engine's shared-world backscatter backend — must print
-# byte-identical output under both settings.
+# serial engine and with N worker threads, and the golden bench
+# binaries — plus fig09, whose spoofed-amplification pass runs on the
+# engine's shared-world backscatter backend — must print byte-identical
+# output under both settings.
 for t in 1 "$engine_threads"; do
   echo "== tier-1 with CERTQUIC_THREADS=$t =="
   CERTQUIC_THREADS=$t ctest --output-on-failure -j "$jobs" -L tier1 "$@"
@@ -45,13 +109,15 @@ done
 
 # Same knobs as CERTQUIC_SMOKE_KNOBS in the root CMakeLists (the values
 # the checked-in goldens are captured with).
-smoke_env="CERTQUIC_DOMAINS=2000 CERTQUIC_SEED=42 CERTQUIC_SAMPLE=200"
+smoke_env="CERTQUIC_DOMAINS=2000 CERTQUIC_SEED=42 CERTQUIC_SAMPLE=200 \
+CERTQUIC_PQ_PROFILE=classical"
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 status=0
 for bin in fig02_cert_field_sizes fig04_amplification_cdf \
            fig06_chain_size_cdf tab01_browser_profiles \
-           tab02_crypto_algorithms fig09_spoofed_amplification; do
+           tab02_crypto_algorithms fig09_spoofed_amplification \
+           fig_pqc_chain_impact; do
   env $smoke_env CERTQUIC_THREADS=1 "./bench/$bin" \
     > "$out_dir/$bin.serial.txt"
   env $smoke_env CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
@@ -64,4 +130,6 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
     status=1
   fi
 done
+cd "$repo_root"
+docs_check || status=1
 exit "$status"
