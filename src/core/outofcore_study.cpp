@@ -1,0 +1,195 @@
+#include "core/outofcore_study.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "engine/spill.hpp"
+#include "util/errors.hpp"
+#include "util/rss_meter.hpp"
+
+namespace certquic::core {
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xff;
+    h *= 0x0000'0100'0000'01b3ULL;
+  }
+}
+
+/// Folds one record into the aggregate. Shared by both paths, so any
+/// divergence between them is a pipeline bug, never an aggregator one.
+void accumulate(outofcore_aggregate& agg, std::uint32_t service_index,
+                std::uint32_t variant_index,
+                const scan::probe_result& result) {
+  const quic::observation& o = result.obs;
+  ++agg.records;
+  ++agg.counts[static_cast<std::size_t>(result.cls)];
+  agg.bytes_sent_total += o.bytes_sent_total;
+  agg.bytes_received_total += o.bytes_received_total;
+  agg.certificate_bytes += o.certificate_msg_size;
+  if (o.handshake_complete) {
+    agg.first_burst_amplification.add(o.first_burst_amplification());
+  }
+  mix(agg.stream_digest, service_index);
+  mix(agg.stream_digest, variant_index);
+  mix(agg.stream_digest, static_cast<std::uint64_t>(result.cls));
+  mix(agg.stream_digest, o.handshake_complete ? 1 : 0);
+  mix(agg.stream_digest, o.bytes_sent_total);
+  mix(agg.stream_digest, o.bytes_received_total);
+  mix(agg.stream_digest, o.bytes_received_first_burst);
+  mix(agg.stream_digest, o.tls_bytes_received);
+  mix(agg.stream_digest, o.certificate_msg_size);
+  mix(agg.stream_digest, o.complete_time);
+  mix(agg.stream_digest, o.certificate_message.size());
+}
+
+/// Streaming aggregator for the spill → merge path: folds each merged
+/// record and keeps nothing else.
+class aggregate_sink final : public engine::observation_sink {
+ public:
+  explicit aggregate_sink(outofcore_aggregate& agg) : agg_(agg) {}
+
+  void on_begin(const engine::probe_plan& plan,
+                std::size_t sampled) override {
+    agg_.first_burst_amplification.reserve(sampled * plan.variants.size());
+  }
+  void on_record(const engine::probe_record& rec) override {
+    accumulate(agg_, rec.service_index, rec.variant_index, rec.result);
+  }
+
+ private:
+  outofcore_aggregate& agg_;
+};
+
+/// What the materializing baseline keeps per probe: the full result —
+/// including any captured certificate bytes — exactly what a
+/// store-then-analyze pipeline pins in memory for the whole run.
+struct stored_record {
+  std::uint32_t service_index = 0;
+  std::uint32_t variant_index = 0;
+  scan::probe_result result;
+};
+
+std::string shard_path(const std::filesystem::path& dir, std::size_t shard) {
+  char name[48];
+  std::snprintf(name, sizeof name, "shard_%04zu.spill", shard);
+  return (dir / name).string();
+}
+
+/// Deletes the shard files on scope exit unless released — spills must
+/// not leak on the error paths (disk-full, failed replay) this
+/// pipeline exists to surface.
+class spill_cleanup {
+ public:
+  explicit spill_cleanup(const std::vector<std::string>& paths)
+      : paths_(paths) {}
+  ~spill_cleanup() {
+    if (released_) {
+      return;
+    }
+    std::error_code ec;
+    for (const std::string& path : paths_) {
+      std::filesystem::remove(path, ec);
+    }
+  }
+  void release() noexcept { released_ = true; }
+
+ private:
+  const std::vector<std::string>& paths_;
+  bool released_ = false;
+};
+
+}  // namespace
+
+outofcore_result run_outofcore_study(const internet::model& m,
+                                     const outofcore_options& opt,
+                                     const engine::options& exec) {
+  if (opt.spill_dir.empty()) {
+    throw config_error("run_outofcore_study: spill_dir must be set");
+  }
+  const std::filesystem::path dir{opt.spill_dir};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw config_error("run_outofcore_study: cannot create spill_dir " +
+                       opt.spill_dir + ": " + ec.message());
+  }
+
+  engine::probe_variant variant;
+  variant.initial_size = opt.initial_size;
+  variant.capture_certificate = opt.capture_certificate;
+  variant.chain_profile = opt.chain_profile;
+  const engine::probe_plan plan =
+      engine::probe_plan::single(std::move(variant), opt.max_services);
+
+  const engine::executor eng{m, exec};
+  const std::vector<std::uint32_t> sampled = eng.sample(plan);
+
+  outofcore_result out;
+  out.sampled = sampled.size();
+  out.shards = std::clamp<std::size_t>(
+      opt.shards, 1, std::max<std::size_t>(1, sampled.size()));
+  const std::size_t per_shard =
+      (std::max<std::size_t>(1, sampled.size()) + out.shards - 1) /
+      out.shards;
+
+  std::vector<std::string> paths;
+  paths.reserve(out.shards);
+  for (std::size_t s = 0; s < out.shards; ++s) {
+    paths.push_back(shard_path(dir, s));
+  }
+  spill_cleanup cleanup{paths};
+
+  // Spill path first: with per-phase peak resets this order does not
+  // matter, but on platforms where the meter falls back to sampling a
+  // monotonic RSS it keeps the baseline's heap from being billed to
+  // the spill phase.
+  {
+    rss_meter::phase phase;
+    for (std::size_t s = 0; s < out.shards; ++s) {
+      const std::size_t lo = std::min(sampled.size(), s * per_shard);
+      const std::size_t hi = std::min(sampled.size(), lo + per_shard);
+      const std::vector<std::uint32_t> slice(sampled.begin() + lo,
+                                             sampled.begin() + hi);
+      engine::spill_sink sink{paths[s]};
+      eng.run(plan, slice, sink);
+      out.shard_records.push_back(sink.records_written());
+    }
+    aggregate_sink agg{out.spill};
+    const engine::spill_merge merge{m, plan};
+    merge.replay(paths, agg);
+    out.spill_peak_rss_kb = phase.peak_kb();
+  }
+
+  if (opt.compare_in_memory) {
+    rss_meter::phase phase;
+    std::vector<stored_record> all;
+    all.reserve(sampled.size() * plan.variants.size());
+    engine::callback_sink collect{[&](const engine::probe_record& rec) {
+      all.push_back(stored_record{
+          .service_index = rec.service_index,
+          .variant_index = rec.variant_index,
+          .result = rec.result,
+      });
+    }};
+    eng.run(plan, sampled, collect);
+    out.in_memory.first_burst_amplification.reserve(all.size());
+    for (const stored_record& rec : all) {
+      accumulate(out.in_memory, rec.service_index, rec.variant_index,
+                 rec.result);
+    }
+    out.in_memory_peak_rss_kb = phase.peak_kb();
+    out.compared = true;
+    out.identical = out.spill.same_as(out.in_memory);
+  }
+
+  if (opt.keep_spills) {
+    out.spill_paths = paths;
+    cleanup.release();
+  }
+  return out;
+}
+
+}  // namespace certquic::core

@@ -1,0 +1,104 @@
+// Out-of-core sweep study: the driver that finally decouples population
+// size from resident memory. A large probe plan is partitioned into
+// shard-sized sub-plans, each shard runs through the engine into its
+// own spill file (engine/spill.hpp), and the shards are merged back in
+// plan order through a streaming aggregator — so the peak working set
+// is one record per shard instead of the whole record stream. The study
+// optionally runs the materializing in-memory baseline over the same
+// plan and reports both aggregates (bit-identical by construction —
+// enforced at 1/2/8 threads by tests/outofcore_test.cpp) plus the peak
+// RSS of each path (util/rss_meter.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/census.hpp"
+#include "engine/engine.hpp"
+#include "internet/model.hpp"
+#include "scan/classify.hpp"
+#include "stats/cdf.hpp"
+
+namespace certquic::core {
+
+/// Parameters of one out-of-core sweep.
+struct outofcore_options {
+  /// 0 = probe every QUIC service; otherwise the deterministic sample.
+  std::size_t max_services = 0;
+  /// Spill shards. The sample is cut into `shards` contiguous slices;
+  /// each slice spills to its own file. Clamped to [1, sample size].
+  std::size_t shards = 8;
+  /// Directory for the shard spill files; created when missing.
+  std::string spill_dir;
+  std::size_t initial_size = 1362;
+  /// Retain raw Certificate messages in the stream (QScanner mode) —
+  /// multiplies per-record bytes, which is exactly what makes the
+  /// in-memory path blow up first on pqc_full-style chains.
+  bool capture_certificate = false;
+  /// Chain profile served by the probed population (the PQC axis).
+  x509::pq_profile chain_profile = x509::pq_profile::classical;
+  /// Also run the materializing in-memory baseline and compare.
+  bool compare_in_memory = true;
+  /// Leave the shard files on disk (for later re-aggregation).
+  bool keep_spills = false;
+};
+
+/// One path's aggregate over the full record stream. Every field is a
+/// pure fold over the stream in plan order, so two paths that saw the
+/// same records in the same order agree bit-for-bit.
+struct outofcore_aggregate {
+  std::size_t records = 0;
+  std::array<std::size_t, kClassCount> counts{};
+  unsigned long long bytes_sent_total = 0;
+  unsigned long long bytes_received_total = 0;
+  unsigned long long certificate_bytes = 0;
+  stats::sample_set first_burst_amplification;
+  /// Order-sensitive FNV-1a fold over every record's identifying and
+  /// observation fields: equal digests mean the two streams were
+  /// identical *including order*, not just equal in aggregate.
+  std::uint64_t stream_digest = 0xcbf2'9ce4'8422'2325ULL;
+
+  [[nodiscard]] std::size_t count(scan::handshake_class c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] bool same_as(const outofcore_aggregate& other) const {
+    return records == other.records && counts == other.counts &&
+           bytes_sent_total == other.bytes_sent_total &&
+           bytes_received_total == other.bytes_received_total &&
+           certificate_bytes == other.certificate_bytes &&
+           stream_digest == other.stream_digest;
+  }
+};
+
+/// Study output. RSS figures are kilobytes and 0 when the platform
+/// cannot measure (see util/rss_meter.hpp) — never compare them into
+/// pass/fail logic on such platforms.
+struct outofcore_result {
+  std::size_t sampled = 0;
+  std::size_t shards = 0;
+  /// Records written per shard file (sums to spill.records).
+  std::vector<std::size_t> shard_records;
+  /// Shard spill paths; populated only when keep_spills was set.
+  std::vector<std::string> spill_paths;
+
+  outofcore_aggregate spill;      // shard → spill → merge path
+  outofcore_aggregate in_memory;  // materializing baseline (if compared)
+  bool compared = false;
+  bool identical = false;  // spill.same_as(in_memory), when compared
+
+  std::size_t spill_peak_rss_kb = 0;
+  std::size_t in_memory_peak_rss_kb = 0;
+};
+
+/// Runs the sharded spill → merge pipeline (and, by default, the
+/// in-memory baseline) over the QUIC population. Probes execute on the
+/// engine's thread pool; both paths' aggregates are bit-identical at
+/// any thread count. Throws config_error when spill_dir is empty or
+/// cannot be created.
+[[nodiscard]] outofcore_result run_outofcore_study(
+    const internet::model& m, const outofcore_options& opt,
+    const engine::options& exec = {});
+
+}  // namespace certquic::core

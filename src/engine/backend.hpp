@@ -117,7 +117,7 @@ void run_backend(const probe_backend& backend, const options& opt,
   }
   std::size_t per_shard = backend.units_per_shard();
   if (per_shard == 0) {
-    per_shard = opt.chunk == 0 ? 64 : opt.chunk;
+    per_shard = opt.resolved_chunk();
   }
   const std::size_t shards = (units + per_shard - 1) / per_shard;
   // One shard is one work item; its outcome vector already batches

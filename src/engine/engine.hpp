@@ -38,8 +38,16 @@ struct options {
   /// std::thread::hardware_concurrency() — the engine is parallel by
   /// default. 1 forces the serial path.
   std::size_t threads = 0;
-  /// Probes per shard handed to a worker at a time.
+  /// Probes per shard handed to a worker at a time. 0 resolves to the
+  /// default via resolved_chunk().
   std::size_t chunk = 64;
+
+  /// The effective chunk size; the single place the `0 means 64`
+  /// default lives, shared by parallel_ordered and run_backend so the
+  /// two paths cannot drift.
+  [[nodiscard]] std::size_t resolved_chunk() const noexcept {
+    return chunk == 0 ? 64 : chunk;
+  }
 
   [[nodiscard]] static options serial() { return {.threads = 1}; }
 };
@@ -69,7 +77,7 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
     return;
   }
 
-  const std::size_t chunk = opt.chunk == 0 ? 64 : opt.chunk;
+  const std::size_t chunk = opt.resolved_chunk();
   const std::size_t chunks = (n + chunk - 1) / chunk;
   // Backpressure: workers stall once they are `window` chunks ahead of
   // the ordered consumer, bounding buffered results to O(threads) even

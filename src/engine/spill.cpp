@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "util/errors.hpp"
@@ -11,7 +12,183 @@ namespace certquic::engine {
 namespace {
 
 constexpr const char* kMagic = "certquic-spill";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersion = "v2";
+constexpr const char* kFooterTag = "end";
+
+/// One decoded spill line, not yet resolved against a model/plan.
+struct parsed_record {
+  std::uint32_t service_index = 0;
+  std::uint32_t variant_index = 0;
+  scan::probe_result result;
+};
+
+parsed_record parse_record_line(const std::string& line,
+                                const std::string& path) {
+  std::istringstream fields{line};
+  parsed_record rec;
+  int cls = 0;
+  int response = 0, retry = 0, vn = 0, complete = 0, timed_out = 0;
+  int compression = 0;
+  std::string hex;
+  quic::observation& o = rec.result.obs;
+  fields >> rec.service_index >> rec.variant_index >> cls >> response >>
+      retry >> vn >> complete >> timed_out >> o.client_datagrams >>
+      o.acks_before_complete >> o.bytes_sent_first_flight >>
+      o.bytes_sent_total >> o.bytes_received_total >>
+      o.bytes_received_first_burst >> o.tls_bytes_first_burst >>
+      o.padding_bytes_first_burst >> o.tls_bytes_received >>
+      o.padding_bytes_received >> o.server_datagrams >> compression >>
+      o.certificate_msg_size >> o.certificate_uncompressed_size >>
+      o.start_time >> o.complete_time >> o.first_receive_time >>
+      o.last_receive_time >> hex;
+  if (!fields) {
+    throw codec_error("spill_reader: truncated record in " + path);
+  }
+  if (cls < 0 || cls > static_cast<int>(scan::handshake_class::unreachable)) {
+    throw codec_error("spill_reader: handshake class out of range in " +
+                      path);
+  }
+  rec.result.cls = static_cast<scan::handshake_class>(cls);
+  o.response_received = response != 0;
+  o.retry_seen = retry != 0;
+  o.version_negotiation_seen = vn != 0;
+  o.handshake_complete = complete != 0;
+  o.timed_out = timed_out != 0;
+  o.compression_used = compression != 0;
+  if (hex != "-") {
+    o.certificate_message = from_hex(hex);
+  }
+  return rec;
+}
+
+/// Streaming cursor over one spill file: parses the header up front,
+/// buffers one decoded record at a time, and validates the record-count
+/// footer when the stream runs out. Replay and the k-way merge share it
+/// so both enforce the same integrity checks.
+class spill_cursor {
+ public:
+  explicit spill_cursor(std::string path)
+      : path_(std::move(path)), in_(path_) {
+    if (!in_) {
+      throw config_error("spill_reader: cannot open " + path_);
+    }
+    std::string magic;
+    std::string version;
+    in_ >> magic >> version >> variants_ >> sampled_;
+    if (magic != kMagic || version != kVersion) {
+      throw codec_error("spill_reader: not a " + std::string(kVersion) +
+                        " spill file: " + path_);
+    }
+    std::string line;
+    std::getline(in_, line);  // consume the header's newline
+    fill();
+  }
+
+  [[nodiscard]] std::size_t variants() const noexcept { return variants_; }
+  [[nodiscard]] std::size_t sampled() const noexcept { return sampled_; }
+  [[nodiscard]] std::size_t records_read() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// The next record, or nullptr once the footer has validated the
+  /// complete stream.
+  [[nodiscard]] const parsed_record* peek() const noexcept {
+    return have_next_ ? &next_ : nullptr;
+  }
+
+  void advance() {
+    ++records_;
+    fill();
+  }
+
+ private:
+  void fill() {
+    have_next_ = false;
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      if (line.compare(0, std::char_traits<char>::length(kMagic), kMagic) ==
+          0) {
+        check_footer(line);
+        ensure_nothing_after_footer();
+        return;
+      }
+      next_ = parse_record_line(line, path_);
+      have_next_ = true;
+      return;
+    }
+    // EOF without a footer: the file was cut at a line boundary (crash,
+    // disk-full after a flush) — refuse to pass it off as complete.
+    throw codec_error("spill_reader: missing footer in " + path_ +
+                      " — truncated spill? (complete files end with '" +
+                      kMagic + " " + kFooterTag + " <record_count>')");
+  }
+
+  void check_footer(const std::string& line) {
+    std::istringstream fields{line};
+    std::string magic;
+    std::string tag;
+    std::size_t count = 0;
+    fields >> magic >> tag >> count;
+    if (!fields || tag != kFooterTag) {
+      throw codec_error("spill_reader: malformed footer in " + path_ +
+                        ": " + line);
+    }
+    if (count != records_) {
+      throw codec_error(
+          "spill_reader: footer records " + std::to_string(count) +
+          " != " + std::to_string(records_) + " records present in " +
+          path_ + " — truncated spill");
+    }
+  }
+
+  void ensure_nothing_after_footer() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!line.empty()) {
+        throw codec_error("spill_reader: data after footer in " + path_);
+      }
+    }
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::size_t variants_ = 0;
+  std::size_t sampled_ = 0;
+  std::size_t records_ = 0;
+  parsed_record next_;
+  bool have_next_ = false;
+};
+
+/// Resolves a decoded line against the model and plan and streams it.
+void emit(const internet::model& model, const probe_plan& plan,
+          const parsed_record& rec, observation_sink& sink) {
+  if (rec.service_index >= model.records().size()) {
+    throw config_error("spill_reader: service index out of range");
+  }
+  if (rec.variant_index >= plan.variants.size()) {
+    throw config_error("spill_reader: variant index out of range");
+  }
+  sink.on_record(probe_record{
+      .service_index = rec.service_index,
+      .variant_index = rec.variant_index,
+      .record = model.records()[rec.service_index],
+      .variant = plan.variants[rec.variant_index],
+      .result = rec.result,
+  });
+}
+
+void check_variant_count(const spill_cursor& cur, const probe_plan& plan) {
+  if (cur.variants() != plan.variants.size()) {
+    throw config_error("spill_reader: " + cur.path() + " captured under " +
+                       std::to_string(cur.variants()) +
+                       " variants, plan has " +
+                       std::to_string(plan.variants.size()));
+  }
+}
 
 }  // namespace
 
@@ -28,15 +205,13 @@ spill_sink::~spill_sink() {
   }
 }
 
-void spill_sink::write_header(std::size_t variants, std::size_t sampled) {
-  std::fprintf(file_, "%s %s %zu %zu\n", kMagic, kVersion, variants, sampled);
-  header_written_ = true;
-}
-
 void spill_sink::on_begin(const probe_plan& plan, std::size_t sampled) {
-  if (!header_written_) {
-    write_header(plan.variants.size(), sampled);
+  if (header_written_) {
+    throw config_error("spill_sink: on_begin called twice for " + path_);
   }
+  std::fprintf(file_, "%s %s %zu %zu\n", kMagic, kVersion,
+               plan.variants.size(), sampled);
+  header_written_ = true;
 }
 
 void spill_sink::on_record(const probe_record& rec) {
@@ -44,7 +219,13 @@ void spill_sink::on_record(const probe_record& rec) {
     throw config_error("spill_sink: record after on_end");
   }
   if (!header_written_) {
-    write_header(0, 0);  // driven without a lifecycle; counts unknown
+    // A header with made-up counts would silently disable the replay
+    // side's plan-shape validation, so a lifecycle-less record stream
+    // is an error rather than a degraded spill.
+    throw config_error(
+        "spill_sink: on_record before on_begin — drive the sink through "
+        "the executor (or call on_begin) so the header records the real "
+        "variant and sample counts");
   }
   const quic::observation& o = rec.result.obs;
   std::fprintf(
@@ -73,9 +254,11 @@ void spill_sink::on_end() {
   if (file_ == nullptr) {
     return;
   }
-  // Surface disk-full / I/O failures here instead of reporting a
-  // truncated spill as success: a clean-looking but short file would
-  // silently replay into wrong aggregates.
+  // The footer is the integrity seal: replay refuses files without it
+  // (or with a mismatching count), so a spill cut at a line boundary —
+  // which parses cleanly record by record — cannot silently replay
+  // into wrong aggregates.
+  std::fprintf(file_, "%s %s %zu\n", kMagic, kFooterTag, records_);
   const bool write_error = std::ferror(file_) != 0;
   const bool close_error = std::fclose(file_) != 0;
   file_ = nullptr;
@@ -86,87 +269,54 @@ void spill_sink::on_end() {
 
 std::size_t spill_reader::replay(const std::string& path,
                                  observation_sink& sink) const {
-  std::ifstream in{path};
-  if (!in) {
-    throw config_error("spill_reader: cannot open " + path);
-  }
-  std::string magic;
-  std::string version;
-  std::size_t variants = 0;
-  std::size_t sampled = 0;
-  in >> magic >> version >> variants >> sampled;
-  if (magic != kMagic || version != kVersion) {
-    throw codec_error("spill_reader: not a " + std::string(kVersion) +
-                      " spill file: " + path);
-  }
-  if (variants != 0 && variants != plan_.variants.size()) {
-    throw config_error("spill_reader: spill captured under " +
-                       std::to_string(variants) +
-                       " variants, plan has " +
-                       std::to_string(plan_.variants.size()));
-  }
-
-  sink.on_begin(plan_, sampled);
-  std::size_t records = 0;
-  std::string line;
-  std::getline(in, line);  // consume the header's newline
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
-    }
-    std::istringstream fields{line};
-    std::uint32_t service_index = 0;
-    std::uint32_t variant_index = 0;
-    int cls = 0;
-    int response = 0, retry = 0, vn = 0, complete = 0, timed_out = 0;
-    int compression = 0;
-    std::string hex;
-    scan::probe_result result;
-    quic::observation& o = result.obs;
-    fields >> service_index >> variant_index >> cls >> response >> retry >>
-        vn >> complete >> timed_out >> o.client_datagrams >>
-        o.acks_before_complete >> o.bytes_sent_first_flight >>
-        o.bytes_sent_total >> o.bytes_received_total >>
-        o.bytes_received_first_burst >> o.tls_bytes_first_burst >>
-        o.padding_bytes_first_burst >> o.tls_bytes_received >>
-        o.padding_bytes_received >> o.server_datagrams >> compression >>
-        o.certificate_msg_size >> o.certificate_uncompressed_size >>
-        o.start_time >> o.complete_time >> o.first_receive_time >>
-        o.last_receive_time >> hex;
-    if (!fields) {
-      throw codec_error("spill_reader: truncated record in " + path);
-    }
-    if (cls < 0 ||
-        cls > static_cast<int>(scan::handshake_class::unreachable)) {
-      throw codec_error("spill_reader: handshake class out of range");
-    }
-    result.cls = static_cast<scan::handshake_class>(cls);
-    o.response_received = response != 0;
-    o.retry_seen = retry != 0;
-    o.version_negotiation_seen = vn != 0;
-    o.handshake_complete = complete != 0;
-    o.timed_out = timed_out != 0;
-    o.compression_used = compression != 0;
-    if (hex != "-") {
-      o.certificate_message = from_hex(hex);
-    }
-    if (service_index >= model_.records().size()) {
-      throw config_error("spill_reader: service index out of range");
-    }
-    if (variant_index >= plan_.variants.size()) {
-      throw config_error("spill_reader: variant index out of range");
-    }
-    sink.on_record(probe_record{
-        .service_index = service_index,
-        .variant_index = variant_index,
-        .record = model_.records()[service_index],
-        .variant = plan_.variants[variant_index],
-        .result = result,
-    });
-    ++records;
+  spill_cursor cur{path};
+  check_variant_count(cur, plan_);
+  sink.on_begin(plan_, cur.sampled());
+  while (const parsed_record* rec = cur.peek()) {
+    emit(model_, plan_, *rec, sink);
+    cur.advance();
   }
   sink.on_end();
-  return records;
+  return cur.records_read();
+}
+
+std::size_t spill_merge::replay(const std::vector<std::string>& paths,
+                                observation_sink& sink) const {
+  if (paths.empty()) {
+    throw config_error("spill_merge: no spill files to merge");
+  }
+  std::vector<std::unique_ptr<spill_cursor>> cursors;
+  cursors.reserve(paths.size());
+  std::size_t total_sampled = 0;
+  for (const std::string& path : paths) {
+    cursors.push_back(std::make_unique<spill_cursor>(path));
+    check_variant_count(*cursors.back(), plan_);
+    total_sampled += cursors.back()->sampled();
+  }
+
+  sink.on_begin(plan_, total_sampled);
+  // Plan order over the sharded sample is (variant, shard, position):
+  // each file already stores its slice variant-major, so the merge
+  // walks the variant axis once and drains every cursor's run of that
+  // variant in shard order. Each file is read exactly once.
+  std::size_t total = 0;
+  for (std::uint32_t v = 0; v < plan_.variants.size(); ++v) {
+    for (auto& cur : cursors) {
+      while (cur->peek() != nullptr && cur->peek()->variant_index == v) {
+        emit(model_, plan_, *cur->peek(), sink);
+        cur->advance();
+        ++total;
+      }
+    }
+  }
+  for (const auto& cur : cursors) {
+    if (cur->peek() != nullptr) {
+      throw codec_error("spill_merge: variant runs out of plan order in " +
+                        cur->path());
+    }
+  }
+  sink.on_end();
+  return total;
 }
 
 }  // namespace certquic::engine

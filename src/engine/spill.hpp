@@ -1,28 +1,43 @@
 // Out-of-core sinks: spill_sink streams probe_records to disk as
-// line-delimited records instead of aggregating in memory, and
-// spill_reader replays a spilled file back through any sink against the
-// same model and plan. Together they decouple probing from aggregation:
-// a million-domain sweep can run once, spill, and be re-aggregated by
-// any number of sinks without re-simulating a single handshake.
+// line-delimited records instead of aggregating in memory, spill_reader
+// replays a spilled file back through any sink against the same model
+// and plan, and spill_merge re-assembles a sharded spill set into one
+// plan-ordered stream. Together they decouple probing from aggregation:
+// a million-domain sweep can run shard by shard, spill each shard, and
+// be re-aggregated by any number of sinks without re-simulating a
+// single handshake — and without ever holding more than one record in
+// memory.
 //
-// Format (version 1, one record per line, space-separated):
-//   certquic-spill v1 <variant_count> <sampled_services>
+// Format (version 2, one record per line, space-separated):
+//   certquic-spill v2 <variant_count> <sampled_services>
 //   <service_index> <variant_index> <class> <24 observation fields>
 //   <hex certificate message | "-">
-// Every field of scan::probe_result round-trips, so replayed aggregates
-// are bit-identical to direct ones (enforced by tests/backend_test).
+//   ...
+//   certquic-spill end <record_count>
+// The footer is written by on_end() and is what makes a spill file
+// *validatable*: a file truncated exactly at a line boundary (crash or
+// disk-full after a flush) parses cleanly line by line but fails the
+// footer check, so replay throws instead of silently aggregating fewer
+// records. Mid-line truncation is caught by the field parser. Every
+// field of scan::probe_result round-trips, so replayed aggregates are
+// bit-identical to direct ones (enforced by tests/backend_test and
+// tests/outofcore_test).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "engine/sink.hpp"
 
 namespace certquic::engine {
 
-/// Streams records to a file. The header is written on on_begin (or
-/// lazily before the first record when the sink is driven without a
-/// lifecycle); on_end flushes and closes.
+/// Streams records to a file. The sink requires the full lifecycle:
+/// on_begin writes the header with the *real* variant and sample
+/// counts (a header with made-up counts would disable the replay-side
+/// plan-shape validation), on_record appends one line per probe, and
+/// on_end writes the record-count footer, flushes and closes. Driving
+/// on_record without on_begin throws.
 class spill_sink final : public observation_sink {
  public:
   /// Opens `path` for writing; throws config_error when that fails.
@@ -42,8 +57,6 @@ class spill_sink final : public observation_sink {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  void write_header(std::size_t variants, std::size_t sampled);
-
   std::string path_;
   std::FILE* file_ = nullptr;
   bool header_written_ = false;
@@ -60,9 +73,43 @@ class spill_reader {
 
   /// Streams every spilled record through `sink` (with the full
   /// on_begin/on_record/on_end lifecycle) and returns the record count.
-  /// Throws codec_error on a malformed or version-mismatched file and
-  /// config_error when an index does not fit the model or plan.
+  /// Throws codec_error on a malformed, truncated (missing or
+  /// mismatching footer) or version-mismatched file and config_error
+  /// when the file's variant count or an index does not fit the model
+  /// or plan.
   std::size_t replay(const std::string& path, observation_sink& sink) const;
+
+ private:
+  const internet::model& model_;
+  const probe_plan& plan_;
+};
+
+/// Merges per-shard spill files of one plan back into a single
+/// plan-ordered stream. Each shard file holds a contiguous slice of the
+/// plan's sample, spilled in plan order (variant-major over the slice);
+/// the merge is a k-way replay keyed on (variant, shard): all shards'
+/// records under variants[0] in shard order, then variants[1], ... —
+/// exactly the order one in-memory run over the concatenated sample
+/// would produce. Every file is streamed exactly once; peak memory is
+/// one buffered record per shard.
+class spill_merge {
+ public:
+  spill_merge(const internet::model& m, const probe_plan& plan)
+      : model_(m), plan_(plan) {}
+
+  /// Streams the merged record stream through `sink` (one
+  /// on_begin/on_end pair; on_begin's sample size is the sum of the
+  /// shard headers) and returns the total record count. Shard files
+  /// are merged in the order given, which must be the shard order of
+  /// the original partition — the merge trusts that order and each
+  /// file's within-variant record order (it cannot know the sample,
+  /// so only *cross-variant* disorder inside a file is detectable and
+  /// throws codec_error; the study-level stream digest is what
+  /// catches everything else). Also throws codec_error when any file
+  /// is malformed or truncated, and config_error on an empty file
+  /// list or a plan-shape mismatch.
+  std::size_t replay(const std::vector<std::string>& paths,
+                     observation_sink& sink) const;
 
  private:
   const internet::model& model_;

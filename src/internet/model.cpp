@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <span>
+#include <thread>
 
 #include "util/errors.hpp"
 
@@ -92,14 +93,33 @@ std::string synth_domain(std::uint32_t rank, rng& r) {
          kTlds[r.uniform(0, std::size(kTlds) - 1)];
 }
 
-const chain_weight& pick_chain(rng& r,
-                               std::span<const chain_weight> table) {
-  std::vector<double> weights;
-  weights.reserve(table.size());
-  for (const auto& c : table) {
-    weights.push_back(c.weight);
+/// Weighted chain pick without per-record heap churn: the weights land
+/// in a stack array sized by the (constexpr) table. Deliberately NOT a
+/// function-local static — same-sized tables share one template
+/// instantiation, so a static would be initialized from whichever
+/// table is consulted first and poison the others (and its magic-
+/// static init would race under parallel synthesis). Draw-stream-
+/// identical to the historical vector-building version —
+/// weighted_index consumes exactly one uniform either way.
+template <std::size_t N>
+const chain_weight& pick_chain(rng& r, const chain_weight (&table)[N]) {
+  std::array<double, N> weights;
+  for (std::size_t i = 0; i < N; ++i) {
+    weights[i] = table[i].weight;
   }
   return table[r.weighted_index(weights)];
+}
+
+std::size_t resolved_synth_threads(std::size_t requested,
+                                   std::size_t domains) {
+  if (requested > 0) {
+    return requested;  // an explicit request is always honoured
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Auto mode only: don't spin up a pool for populations too small to
+  // amortize the thread launch.
+  return std::min<std::size_t>(hw == 0 ? 1 : hw,
+                               std::max<std::size_t>(1, domains / 4096));
 }
 
 }  // namespace
@@ -110,7 +130,6 @@ model model::generate(const config& cfg) {
   m.eco_ = ca::ecosystem::make(cfg.seed ^ 0xCA);
   m.resolver_ = dns::resolver{cfg.seed ^ 0xD25};
   m.dictionary_ = m.eco_.compression_dictionary();
-  m.records_.reserve(cfg.domains);
 
   rng master{cfg.seed};
   const std::size_t group_size =
@@ -125,10 +144,25 @@ model model::generate(const config& cfg) {
     https_rate[g] = std::clamp(master.normal(0.59, 0.02), 0.52, 0.66);
   }
 
-  for (std::uint32_t rank = 1; rank <= cfg.domains; ++rank) {
-    service_record rec;
+  // The master stream's only remaining job is handing every record its
+  // seed; everything below is a pure function of (rank, seed) and the
+  // rates above. That makes synthesis embarrassingly parallel *and*
+  // bit-identical at any thread count — the million-record census
+  // population builds in the time of the seed walk plus N/threads
+  // record syntheses, with no quadratic pass and no chain
+  // materialization (chains stay on-demand via chain_of).
+  std::vector<std::uint64_t> seeds(cfg.domains);
+  for (auto& seed : seeds) {
+    seed = master.next();
+  }
+  m.records_.resize(cfg.domains);
+
+  const double a_rate = m.resolver_.rates().a_record;
+  const auto synth_record = [&](std::uint32_t index) {
+    const std::uint32_t rank = index + 1;
+    service_record& rec = m.records_[index];
     rec.rank = rank;
-    rec.seed = master.next();
+    rec.seed = seeds[index];
     rng r{rec.seed};
     rec.domain = synth_domain(rank, r);
 
@@ -136,8 +170,7 @@ model model::generate(const config& cfg) {
     rec.dns_result = res.result;
     if (res.result != dns::outcome::a_record) {
       rec.svc = service_class::unresolved;
-      m.records_.push_back(std::move(rec));
-      continue;
+      return;
     }
     rec.address = res.address;
 
@@ -145,7 +178,6 @@ model model::generate(const config& cfg) {
         std::min<std::size_t>((rank - 1) / group_size, kRankGroups - 1);
     // Deployment classes are fractions of *all* domains in a group;
     // condition on the A-record funnel stage.
-    const double a_rate = m.resolver_.rates().a_record;
     const double p_quic = quic_rate[g] / a_rate;
     const double p_https_only = https_rate[g] / a_rate;
     const double dice = r.uniform01();
@@ -155,8 +187,7 @@ model model::generate(const config& cfg) {
       rec.svc = service_class::https_only;
     } else {
       rec.svc = service_class::no_tls;
-      m.records_.push_back(std::move(rec));
-      continue;
+      return;
     }
 
     if (rec.svc == service_class::quic) {
@@ -247,7 +278,36 @@ model model::generate(const config& cfg) {
     if (rec.serves_tls() && r.chance(0.15) && rank > 1) {
       rec.redirect_to = static_cast<std::int32_t>(r.uniform(0, rank - 2));
     }
-    m.records_.push_back(std::move(rec));
+  };
+
+  const std::size_t threads =
+      resolved_synth_threads(cfg.synth_threads, cfg.domains);
+  if (threads <= 1) {
+    for (std::uint32_t i = 0; i < cfg.domains; ++i) {
+      synth_record(i);
+    }
+  } else {
+    // Contiguous rank ranges per worker: records are written in place,
+    // so no ordering or locking is needed.
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const std::size_t per_worker = (cfg.domains + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const auto lo = static_cast<std::uint32_t>(t * per_worker);
+      const auto hi = static_cast<std::uint32_t>(
+          std::min<std::size_t>(cfg.domains, (t + 1) * per_worker));
+      if (lo >= hi) {
+        break;
+      }
+      pool.emplace_back([&synth_record, lo, hi] {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+          synth_record(i);
+        }
+      });
+    }
+    for (auto& worker : pool) {
+      worker.join();
+    }
   }
   return m;
 }

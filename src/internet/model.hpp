@@ -96,6 +96,13 @@ struct meta_host {
 struct config {
   std::size_t domains = 100'000;
   std::uint64_t seed = 42;
+  /// Worker threads for population synthesis. The master stream only
+  /// hands each record its seed, so synthesis is a pure per-record
+  /// function and the generated population is bit-identical at any
+  /// thread count. 0 = all hardware threads, capped to one worker per
+  /// ~4k domains so tiny populations stay serial; an explicit value is
+  /// always honoured (1 forces serial).
+  std::size_t synth_threads = 0;
 };
 
 /// The generated population plus materialization helpers.

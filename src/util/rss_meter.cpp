@@ -1,0 +1,84 @@
+#include "util/rss_meter.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace certquic {
+namespace {
+
+/// Reads one "<field>: <kB> kB" line from /proc/self/status; 0 when the
+/// file or field is unavailable (non-Linux).
+std::size_t read_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+        kb = static_cast<std::size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t rss_meter::current_kb() { return read_status_kb("VmRSS"); }
+
+std::size_t rss_meter::peak_kb() { return read_status_kb("VmHWM"); }
+
+bool rss_meter::reset_peak() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool wrote = std::fputs("5", f) >= 0;
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+rss_meter::phase::phase() {
+  reset_worked_ = reset_peak() && peak_kb() > 0;
+  if (reset_worked_ || current_kb() == 0) {
+    return;  // precise kernel peak, or nothing measurable at all
+  }
+  // clear_refs unavailable (e.g. locked-down container): sample VmRSS
+  // in the background so a growing phase still reports its plateau.
+  sampler_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const std::size_t now = current_kb();
+      if (now > sampled_peak_.load(std::memory_order_relaxed)) {
+        sampled_peak_.store(now, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+}
+
+rss_meter::phase::~phase() {
+  if (sampler_.joinable()) {
+    stop_.store(true, std::memory_order_relaxed);
+    sampler_.join();
+  }
+}
+
+std::size_t rss_meter::phase::peak_kb() const {
+  if (reset_worked_) {
+    return rss_meter::peak_kb();
+  }
+  const std::size_t sampled = sampled_peak_.load(std::memory_order_relaxed);
+  const std::size_t now = current_kb();
+  return sampled > now ? sampled : now;
+}
+
+}  // namespace certquic

@@ -55,6 +55,8 @@ TEST(Golden, Tab02CryptoAlgorithms) { check_bench("tab02_crypto_algorithms"); }
 
 TEST(Golden, FigPqcChainImpact) { check_bench("fig_pqc_chain_impact"); }
 
+TEST(Golden, FigOutofcoreRss) { check_bench("fig_outofcore_rss"); }
+
 }  // namespace
 }  // namespace certquic::test
 

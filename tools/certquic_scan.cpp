@@ -1,10 +1,12 @@
 // certquic_scan — command-line front-end to the measurement toolkit.
 //
 // Usage:
-//   certquic_scan census   [--domains N] [--seed S] [--initial BYTES]
-//   certquic_scan sweep    [--domains N] [--seed S] [--sample N]
-//   certquic_scan compress [--domains N] [--seed S]
-//   certquic_scan spoof    [--domains N] [--seed S] [--sessions N]
+//   certquic_scan census    [--domains N] [--seed S] [--initial BYTES]
+//   certquic_scan sweep     [--domains N] [--seed S] [--sample N]
+//   certquic_scan compress  [--domains N] [--seed S]
+//   certquic_scan spoof     [--domains N] [--seed S] [--sessions N]
+//   certquic_scan outofcore [--domains N] [--seed S] [--sample N]
+//                           [--shards N] [--spill-dir DIR] [--no-compare]
 //   certquic_scan domain <name> [--domains N] [--seed S] [--initial BYTES]
 //
 // Every engine-backed subcommand accepts --threads N (0 = default:
@@ -13,14 +15,22 @@
 //
 // `census` classifies handshakes at one Initial size; `sweep` runs the
 // Fig. 3 size sweep; `compress` runs the §4.2 study; `spoof` runs the
-// §4.3 telescope study; `domain` probes one service in detail.
+// §4.3 telescope study; `outofcore` runs the same census through the
+// sharded spill → merge pipeline (its stdout is byte-identical to
+// `census` on the same population — the verify.sh gate diffs the two —
+// while shard/RSS details go to stderr); `domain` probes one service in
+// detail.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/amplification_study.hpp"
 #include "core/census.hpp"
 #include "core/compression_study.hpp"
+#include "core/outofcore_study.hpp"
 #include "engine/engine.hpp"
 #include "scan/qscanner.hpp"
 #include "scan/reach.hpp"
@@ -38,7 +48,10 @@ struct cli_options {
   std::size_t initial = 1362;
   std::size_t sample = 1500;
   std::size_t sessions = 80;
-  std::size_t threads = 0;  // 0 = engine default
+  std::size_t shards = 8;
+  std::string spill_dir;     // empty = temp dir, removed afterwards
+  bool no_compare = false;   // skip the materializing baseline
+  std::size_t threads = 0;   // 0 = engine default
 
   [[nodiscard]] engine::options exec() const { return {.threads = threads}; }
 };
@@ -56,9 +69,21 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
     opt.domain = argv[2];
     i = 3;
   }
-  for (; i + 1 < argc; i += 2) {
+  for (; i < argc; ++i) {
     const std::string flag = argv[i];
-    const auto value = std::strtoull(argv[i + 1], nullptr, 10);
+    if (flag == "--no-compare") {
+      opt.no_compare = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--spill-dir") {
+      opt.spill_dir = argv[++i];
+      continue;
+    }
+    const auto value = std::strtoull(argv[++i], nullptr, 10);
     if (flag == "--domains") {
       opt.domains = value;
     } else if (flag == "--seed") {
@@ -69,6 +94,8 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
       opt.sample = value;
     } else if (flag == "--sessions") {
       opt.sessions = value;
+    } else if (flag == "--shards") {
+      opt.shards = value;
     } else if (flag == "--threads") {
       opt.threads = value;
     } else {
@@ -79,22 +106,104 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
   return true;
 }
 
-int run_census(const internet::model& m, const cli_options& opt) {
-  core::census_options copt;
-  copt.initial_size = opt.initial;
-  copt.max_services = opt.sample;
-  const auto census = core::run_census(m, copt, opt.exec());
+/// Renders the census-format class table from per-class counts, shared
+/// by `census` and `outofcore` so the verify gate can diff their
+/// stdout byte for byte.
+template <typename CountFn>
+void print_class_table(std::size_t probed, std::size_t initial,
+                       CountFn&& count_of) {
   text_table table({"class", "count", "share"});
   for (const auto cls :
        {scan::handshake_class::amplification,
         scan::handshake_class::multi_rtt, scan::handshake_class::retry,
         scan::handshake_class::one_rtt,
         scan::handshake_class::unreachable}) {
-    table.add_row({scan::to_string(cls), std::to_string(census.count(cls)),
-                   pct(census.share(cls))});
+    const std::size_t count = count_of(cls);
+    const double share =
+        probed == 0 ? 0.0
+                    : static_cast<double>(count) /
+                          static_cast<double>(probed);
+    table.add_row({scan::to_string(cls), std::to_string(count),
+                   pct(share)});
   }
-  std::printf("%zu services probed @ Initial=%zu\n%s", census.probed,
-              opt.initial, table.render().c_str());
+  std::printf("%zu services probed @ Initial=%zu\n%s", probed, initial,
+              table.render().c_str());
+}
+
+int run_census(const internet::model& m, const cli_options& opt) {
+  core::census_options copt;
+  copt.initial_size = opt.initial;
+  copt.max_services = opt.sample;
+  const auto census = core::run_census(m, copt, opt.exec());
+  print_class_table(census.probed, opt.initial,
+                    [&](scan::handshake_class c) { return census.count(c); });
+  return 0;
+}
+
+/// Removes a disposable spill directory on scope exit — also on the
+/// error paths (disk-full, failed replay) the pipeline exists to hit.
+struct temp_dir_cleanup {
+  std::string dir;  // empty = nothing to clean
+  ~temp_dir_cleanup() {
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
+int run_outofcore(const internet::model& m, const cli_options& opt) {
+  core::outofcore_options oopt;
+  oopt.max_services = opt.sample;
+  oopt.shards = opt.shards;
+  oopt.initial_size = opt.initial;
+  // --no-compare skips the materializing baseline entirely: the true
+  // out-of-core mode for populations whose record stream outgrows RAM.
+  oopt.compare_in_memory = !opt.no_compare;
+  const bool temp_dir = opt.spill_dir.empty();
+  oopt.spill_dir =
+      temp_dir ? (std::filesystem::temp_directory_path() /
+                  ("certquic_outofcore_" + std::to_string(::getpid())))
+                     .string()
+               : opt.spill_dir;
+  // An explicit --spill-dir keeps the shard files for later
+  // re-aggregation; only the fallback temp directory is disposable.
+  oopt.keep_spills = !temp_dir;
+  const temp_dir_cleanup cleanup{temp_dir ? oopt.spill_dir : ""};
+  const auto result = core::run_outofcore_study(m, oopt, opt.exec());
+
+  // stdout carries only the deterministic aggregate (byte-identical to
+  // `census` on the same population); shard and RSS details go to
+  // stderr so the verify gate can diff the two subcommands.
+  print_class_table(result.spill.records, opt.initial,
+                    [&](scan::handshake_class c) {
+                      return result.spill.count(c);
+                    });
+  std::fprintf(stderr,
+               "out-of-core: %zu services, %zu shards, %zu spilled "
+               "records\n",
+               result.sampled, result.shards, result.spill.records);
+  if (!temp_dir) {
+    std::fprintf(stderr, "spill shards kept in %s\n",
+                 oopt.spill_dir.c_str());
+  }
+  if (result.compared) {
+    std::fprintf(stderr,
+                 "peak RSS: spill+merge %zu kB | in-memory %zu kB%s\n",
+                 result.spill_peak_rss_kb, result.in_memory_peak_rss_kb,
+                 result.spill_peak_rss_kb == 0 ? " (not measurable)" : "");
+  } else {
+    std::fprintf(stderr, "peak RSS: spill+merge %zu kB%s\n",
+                 result.spill_peak_rss_kb,
+                 result.spill_peak_rss_kb == 0 ? " (not measurable)" : "");
+  }
+  if (result.compared) {
+    std::fprintf(stderr, "aggregates identical: %s\n",
+                 result.identical ? "yes" : "NO");
+    if (!result.identical) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -190,9 +299,10 @@ int main(int argc, char** argv) {
   cli_options opt;
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
-                 "usage: certquic_scan census|sweep|compress|spoof|domain "
-                 "<name> [--domains N] [--seed S] [--initial B] "
-                 "[--sample N] [--sessions N] [--threads N]\n");
+                 "usage: certquic_scan census|sweep|compress|spoof|"
+                 "outofcore|domain <name> [--domains N] [--seed S] "
+                 "[--initial B] [--sample N] [--sessions N] [--shards N] "
+                 "[--spill-dir DIR] [--no-compare] [--threads N]\n");
     return 2;
   }
   const auto model = internet::model::generate(
@@ -208,6 +318,9 @@ int main(int argc, char** argv) {
   }
   if (opt.command == "spoof") {
     return run_spoof(model, opt);
+  }
+  if (opt.command == "outofcore") {
+    return run_outofcore(model, opt);
   }
   if (opt.command == "domain") {
     return run_domain(model, opt);

@@ -2,16 +2,23 @@
 # Tier-1 verification gate — the exact command sequence from ROADMAP.md.
 # Exits nonzero on any configure, build or test failure.
 #
-# Usage: tools/verify.sh [--docs] [--threads N] [extra ctest args...]
-#   tools/verify.sh                 # full tier-1 + tier-2 run + docs check
-#   tools/verify.sh -L tier1        # tier-1 only
+# Usage: tools/verify.sh [--docs] [--outofcore] [--threads N]
+#                        [extra ctest args...]
+#   tools/verify.sh                 # full tier-1 + tier-2 run + out-of-core
+#                                   # smoke + docs check
+#   tools/verify.sh -L tier1        # tier-1 only (+ out-of-core smoke/docs)
 #   tools/verify.sh --docs          # docs/golden-coverage check only (no build)
+#   tools/verify.sh --outofcore     # build + out-of-core smoke only: a small
+#                                   # sharded spill-merge census diffed
+#                                   # byte-for-byte against the in-memory
+#                                   # census output
 #   tools/verify.sh --threads 8     # engine-determinism gate: runs tier-1
 #                                   # twice (CERTQUIC_THREADS=1 and =N),
 #                                   # diffs the golden bench outputs between
 #                                   # the serial and parallel engine runs,
 #                                   # then runs the docs check
-# Flags combine in any order; the docs check runs in every mode.
+# Flags combine in any order; the docs and out-of-core checks run in
+# every build mode.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -57,14 +64,44 @@ docs_check() {
   return "$docs_status"
 }
 
+# Out-of-core smoke: the sharded spill → merge pipeline must print the
+# byte-identical census table that the in-memory aggregator prints on
+# the same population (certquic_scan exits nonzero itself when the two
+# paths' aggregates diverge internally). Expects cwd = build/.
+outofcore_check() {
+  ooc_dir=$(mktemp -d)
+  ooc_status=0
+  ./tools/certquic_scan census --domains 2000 --sample 300 \
+    > "$ooc_dir/census.txt" || ooc_status=1
+  ./tools/certquic_scan outofcore --domains 2000 --sample 300 --shards 3 \
+    --spill-dir "$ooc_dir/spill" > "$ooc_dir/outofcore.txt" \
+    2> "$ooc_dir/outofcore.log" || ooc_status=1
+  if [ "$ooc_status" -eq 0 ] &&
+     cmp -s "$ooc_dir/census.txt" "$ooc_dir/outofcore.txt"; then
+    echo "OK   outofcore: spill-merge census == in-memory census"
+  else
+    echo "FAIL outofcore: spill-merge output differs from in-memory census"
+    diff -u "$ooc_dir/census.txt" "$ooc_dir/outofcore.txt" || true
+    cat "$ooc_dir/outofcore.log" || true
+    ooc_status=1
+  fi
+  rm -rf "$ooc_dir"
+  return "$ooc_status"
+}
+
 # Flags may appear in any order; everything unrecognized is passed on
 # to ctest.
 docs_only=0
+outofcore_only=0
 engine_threads=""
 while [ $# -gt 0 ]; do
   case $1 in
     --docs)
       docs_only=1
+      shift
+      ;;
+    --outofcore)
+      outofcore_only=1
       shift
       ;;
     --threads)
@@ -77,7 +114,8 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-if [ "$docs_only" -eq 1 ] && [ -z "$engine_threads" ]; then
+if [ "$docs_only" -eq 1 ] && [ "$outofcore_only" -eq 0 ] &&
+   [ -z "$engine_threads" ]; then
   docs_check
   exit $?
 fi
@@ -88,10 +126,19 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 cd build
 
+if [ "$outofcore_only" -eq 1 ] && [ -z "$engine_threads" ]; then
+  status=0
+  outofcore_check || status=1
+  cd "$repo_root"
+  docs_check || status=1
+  exit "$status"
+fi
+
 if [ -z "$engine_threads" ]; then
   # ROADMAP's bare `-j` greedily eats any following argument, so pass the
   # job count explicitly to keep extra ctest args (e.g. -L tier1) working.
   ctest --output-on-failure -j "$jobs" "$@"
+  outofcore_check
   cd "$repo_root"
   docs_check
   exit $?
@@ -117,7 +164,7 @@ status=0
 for bin in fig02_cert_field_sizes fig04_amplification_cdf \
            fig06_chain_size_cdf tab01_browser_profiles \
            tab02_crypto_algorithms fig09_spoofed_amplification \
-           fig_pqc_chain_impact; do
+           fig_pqc_chain_impact fig_outofcore_rss; do
   env $smoke_env CERTQUIC_THREADS=1 "./bench/$bin" \
     > "$out_dir/$bin.serial.txt"
   env $smoke_env CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
@@ -130,6 +177,7 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
     status=1
   fi
 done
+outofcore_check || status=1
 cd "$repo_root"
 docs_check || status=1
 exit "$status"
