@@ -61,6 +61,14 @@ class census_aggregator final : public engine::observation_sink {
     }
   }
 
+  void on_end() override {
+    // Eager sort while still single-threaded (the sample_set contract):
+    // results handed out of the run are then safe for concurrent
+    // quantile reads without ever contending on the lazy-sort lock.
+    out_.first_burst_amplification.finalize();
+    out_.cloudflare_padding.finalize();
+  }
+
  private:
   const internet::model& model_;
   const census_options& opt_;
@@ -118,6 +126,12 @@ class ack_sweep_aggregator final : public engine::observation_sink {
     if (obs.handshake_complete) {
       slice.handshake_ms.add(
           static_cast<double>(obs.complete_time - obs.start_time) / 1000.0);
+    }
+  }
+
+  void on_end() override {
+    for (ack_census_slice& slice : out_.slices) {
+      slice.handshake_ms.finalize();
     }
   }
 

@@ -34,6 +34,12 @@ class pqc_census_aggregator final : public engine::observation_sink {
     }
   }
 
+  void on_end() override {
+    for (pqc_profile_slice& slice : slices_) {
+      slice.amplification.finalize();
+    }
+  }
+
  private:
   std::vector<pqc_profile_slice>& slices_;
 };
@@ -103,6 +109,8 @@ pqc_study_result run_pqc_study(const internet::model& m,
     // all_chains_over_4071 bit-for-bit by construction.
     slice.over_amp_limit = share_over_amp_limit(slice.quic_chain_sizes,
                                                 slice.https_chain_sizes);
+    slice.quic_chain_sizes.finalize();
+    slice.https_chain_sizes.finalize();
   }
 
   // --- Census pass: the engine sweep over the QUIC population, one

@@ -62,6 +62,8 @@ scan::probe_options probe_variant::to_probe_options() const {
   opt.ack_delay =
       ack == quic::ack_policy::instant ? 0 : net::milliseconds(1);
   opt.timeout = timeout;
+  opt.network = network;
+  opt.measure_ttfb = measure_ttfb;
   return opt;
 }
 

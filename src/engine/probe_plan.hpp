@@ -53,6 +53,14 @@ struct probe_variant {
   x509::pq_profile chain_profile = x509::pq_profile::classical;
   /// Observation deadline override; unset keeps the client default.
   std::optional<net::duration> timeout;
+  /// Network regime the probe's two paths run under (the time-domain
+  /// axis). The default condition is the historical simulator setup,
+  /// so plans that never touch it stay golden-identical.
+  net::network_condition network{};
+  /// Request one application object after the handshake and record the
+  /// probe's TTFB (probe_record::ttfb()). Default off: the exchange
+  /// perturbs the byte totals size-domain goldens pin down.
+  bool measure_ttfb = false;
   /// Stream separator mixed into the per-probe seed so repeated visits
   /// of the same service draw independent randomness. Salt 0 under a
   /// zero base seed preserves the historical record-derived seeding.

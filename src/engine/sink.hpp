@@ -30,6 +30,11 @@ struct probe_record {
   const internet::service_record& record;
   const probe_variant& variant;
   const scan::probe_result& result;
+
+  /// The probe's handshake timeline (first Initial → first application
+  /// byte); 0 when the variant did not measure TTFB or the exchange
+  /// never completed.
+  [[nodiscard]] net::duration ttfb() const noexcept { return result.ttfb; }
 };
 
 /// Aggregator interface: every study is one of these.

@@ -12,7 +12,7 @@ namespace certquic::engine {
 namespace {
 
 constexpr const char* kMagic = "certquic-spill";
-constexpr const char* kVersion = "v2";
+constexpr const char* kVersion = "v3";
 constexpr const char* kFooterTag = "end";
 
 /// One decoded spill line, not yet resolved against a model/plan.
@@ -40,7 +40,8 @@ parsed_record parse_record_line(const std::string& line,
       o.padding_bytes_received >> o.server_datagrams >> compression >>
       o.certificate_msg_size >> o.certificate_uncompressed_size >>
       o.start_time >> o.complete_time >> o.first_receive_time >>
-      o.last_receive_time >> hex;
+      o.last_receive_time >> o.first_app_byte_time >>
+      o.app_bytes_received >> hex;
   if (!fields) {
     throw codec_error("spill_reader: truncated record in " + path);
   }
@@ -57,6 +58,11 @@ parsed_record parse_record_line(const std::string& line,
   o.compression_used = compression != 0;
   if (hex != "-") {
     o.certificate_message = from_hex(hex);
+  }
+  // The TTFB is derived, not stored: recompute it exactly as
+  // scan::reach does so replayed records carry the same timeline.
+  if (o.first_app_byte_time != 0) {
+    rec.result.ttfb = o.first_app_byte_time - o.start_time;
   }
   return rec;
 }
@@ -232,7 +238,7 @@ void spill_sink::on_record(const probe_record& rec) {
       file_,
       "%" PRIu32 " %" PRIu32 " %d %d %d %d %d %d %zu %zu %zu %zu %zu %zu "
       "%zu %zu %zu %zu %zu %d %zu %zu %" PRIu64 " %" PRIu64 " %" PRIu64
-      " %" PRIu64 " %s\n",
+      " %" PRIu64 " %" PRIu64 " %zu %s\n",
       rec.service_index, rec.variant_index,
       static_cast<int>(rec.result.cls), o.response_received ? 1 : 0,
       o.retry_seen ? 1 : 0, o.version_negotiation_seen ? 1 : 0,
@@ -243,7 +249,8 @@ void spill_sink::on_record(const probe_record& rec) {
       o.tls_bytes_received, o.padding_bytes_received, o.server_datagrams,
       o.compression_used ? 1 : 0, o.certificate_msg_size,
       o.certificate_uncompressed_size, o.start_time, o.complete_time,
-      o.first_receive_time, o.last_receive_time,
+      o.first_receive_time, o.last_receive_time, o.first_app_byte_time,
+      o.app_bytes_received,
       o.certificate_message.empty()
           ? "-"
           : to_hex(o.certificate_message).c_str());

@@ -8,12 +8,15 @@
 // single handshake — and without ever holding more than one record in
 // memory.
 //
-// Format (version 2, one record per line, space-separated):
-//   certquic-spill v2 <variant_count> <sampled_services>
-//   <service_index> <variant_index> <class> <24 observation fields>
+// Format (version 3, one record per line, space-separated):
+//   certquic-spill v3 <variant_count> <sampled_services>
+//   <service_index> <variant_index> <class> <26 observation fields>
 //   <hex certificate message | "-">
 //   ...
 //   certquic-spill end <record_count>
+// (v3 appended the handshake-timeline fields first_app_byte_time and
+// app_bytes_received after last_receive_time; probe_result::ttfb is
+// derived from them on replay rather than stored.)
 // The footer is written by on_end() and is what makes a spill file
 // *validatable*: a file truncated exactly at a line boundary (crash or
 // disk-full after a flush) parses cleanly line by line but fails the

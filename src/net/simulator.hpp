@@ -3,8 +3,11 @@
 // A single event queue drives datagram deliveries and endpoint timers.
 // Paths model one-way delay, random loss, an IP MTU (QUIC forbids
 // fragmentation, so oversize datagrams are silently dropped — this is
-// what breaks reachability behind encapsulating load balancers, §4.1)
-// and optional per-destination encapsulation overhead.
+// what breaks reachability behind encapsulating load balancers, §4.1),
+// optional per-destination encapsulation overhead, and an optional
+// bottleneck bandwidth: datagrams serialize onto the path one after
+// another, so a burst spreads out in time instead of arriving as one
+// instant (the time-domain model behind the TTFB studies).
 //
 // Spoofing falls out of the design: a sender may stamp any source
 // address; replies are routed to whoever owns that address (a telescope,
@@ -15,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -43,11 +47,37 @@ struct path_config {
   /// balancer; they count against the MTU but are stripped before
   /// delivery (the receiver never sees them).
   std::size_t encapsulation_overhead = 0;
+  /// Bottleneck bandwidth in bits per second; 0 = unconstrained (every
+  /// datagram departs instantly, the historical behaviour all goldens
+  /// are captured under). When set, each datagram occupies the link for
+  /// its serialization time and later datagrams queue behind it.
+  std::uint64_t bandwidth_bps = 0;
 
   /// Largest UDP payload this path can carry without fragmentation.
   [[nodiscard]] std::size_t udp_capacity() const noexcept {
     const std::size_t headers = 28 + encapsulation_overhead;
     return mtu > headers ? mtu - headers : 0;
+  }
+};
+
+/// A named symmetric network regime for time-domain studies: both
+/// directions of a probe share the same loss rate and bottleneck
+/// bandwidth, and the RTT splits evenly into two one-way delays. The
+/// default reproduces the historical simulator setup (10 ms each way,
+/// no loss, no bandwidth cap), so plans that never set a condition stay
+/// bit-identical.
+struct network_condition {
+  std::string name = "ideal";
+  duration rtt = milliseconds(20);
+  double loss_rate = 0.0;
+  std::uint64_t bandwidth_bps = 0;  // 0 = unconstrained
+
+  /// Applies this condition to a path_config (delay is one direction's
+  /// share of the RTT; MTU/encapsulation are left to the caller).
+  void apply_to(path_config& path) const {
+    path.one_way_delay = rtt / 2;
+    path.loss_rate = loss_rate;
+    path.bandwidth_bps = bandwidth_bps;
   }
 };
 
@@ -66,7 +96,7 @@ struct traffic_stats {
 class simulator {
  public:
   explicit simulator(std::uint64_t loss_seed = 0x105e'5eedULL)
-      : loss_rng_(loss_seed) {}
+      : loss_seed_(loss_seed) {}
 
   using handler = std::function<void(const datagram&)>;
   using timer_fn = std::function<void()>;
@@ -96,7 +126,11 @@ class simulator {
   /// Returns the number of events processed.
   std::size_t run(std::size_t max_events = 10'000'000);
 
-  /// Runs until the queue is empty or virtual time would pass `deadline`.
+  /// Runs until the queue is empty or virtual time would pass
+  /// `deadline`. `now()` advances to `deadline` only when every event
+  /// up to it has fired; an exit on `max_events` leaves `now()` at the
+  /// last processed event so a later run never fires events in the
+  /// past (virtual time is monotonic).
   std::size_t run_until(time_point deadline,
                         std::size_t max_events = 10'000'000);
 
@@ -123,7 +157,15 @@ class simulator {
   std::unordered_map<endpoint_id, path_config> paths_;
   path_config default_path_{};
   traffic_stats stats_{};
-  rng loss_rng_;
+  /// Loss is drawn as a pure hash of (loss_seed_, send sequence
+  /// number), not from a shared RNG stream: whether datagram N is lost
+  /// depends only on N, so path-config changes (MTU, encapsulation)
+  /// that alter *other* datagrams' fates cannot cascade into the loss
+  /// pattern of the rest of the run.
+  std::uint64_t loss_seed_;
+  std::uint64_t send_seq_ = 0;
+  /// Per-destination link-busy horizon for bandwidth serialization.
+  std::unordered_map<endpoint_id, time_point> link_busy_;
 };
 
 }  // namespace certquic::net

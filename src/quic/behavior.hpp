@@ -70,6 +70,12 @@ struct server_behavior {
   /// First probe-timeout; doubles per retransmission (RFC 9002).
   net::duration pto_initial = net::milliseconds(400);
 
+  /// Server-side send pacing in bits per second: consecutive datagrams
+  /// of one connection depart spaced by their serialization time
+  /// instead of as one instantaneous burst. 0 (the default every
+  /// size-domain golden is captured under) sends bursts instantly.
+  std::uint64_t pacing_bps = 0;
+
   /// Certificate-compression algorithms the server supports.
   std::vector<compress::algorithm> compression_support;
 

@@ -133,6 +133,19 @@ void client::on_datagram(const net::datagram& d) {
       }
       continue;
     }
+    if (p.type == packet_type::one_rtt) {
+      // Application data: the response to our request. The timeline's
+      // endpoint is the first STREAM byte (TTFB).
+      for (const frame& f : p.frames) {
+        if (const auto* sf = std::get_if<stream_frame>(&f)) {
+          if (obs_.first_app_byte_time == 0 && !sf->data.empty()) {
+            obs_.first_app_byte_time = sim_.now();
+          }
+          obs_.app_bytes_received += sf->data.size();
+        }
+      }
+      continue;
+    }
     server_scid_ = p.scid;
     const frame_accounting fa = account(p.frames);
     obs_.tls_bytes_received += fa.crypto_payload;
@@ -262,6 +275,20 @@ void client::send_ack_flight() {
       finished_sent_ = true;
     }
     dgram.push_back(std::move(hs));
+    if (finished_sent_ && config_.fetch_app_data) {
+      // Coalesce the application request behind the Finished flight —
+      // last in the datagram, as a length-less short-header packet
+      // must be. TTFB then measures first Initial → first response
+      // byte with no client-side think time.
+      packet req;
+      req.type = packet_type::one_rtt;
+      req.dcid = server_scid_.empty() ? dcid_ : server_scid_;
+      req.packet_number = next_pn_app_++;
+      const std::string request = "GET /index.html";
+      req.frames.push_back(
+          stream_frame{0, 0, bytes(request.begin(), request.end())});
+      dgram.push_back(std::move(req));
+    }
   }
 
   // Client Initial-bearing datagrams must also meet the 1200-byte

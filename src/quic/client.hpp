@@ -50,6 +50,12 @@ struct client_config {
   /// Negotiation reply the client retries once with a version the
   /// server listed (costing one round trip, §2).
   std::uint32_t version = kVersion1;
+  /// Send a one-chunk application request (a 1-RTT STREAM frame)
+  /// together with the Finished flight and record when the first
+  /// response byte arrives — the TTFB timeline. Off by default: the
+  /// extra exchange changes byte totals, and every size-domain golden
+  /// is captured without it.
+  bool fetch_app_data = false;
 };
 
 /// Everything measured during one handshake attempt.
@@ -90,6 +96,11 @@ struct observation {
   net::time_point complete_time = 0;
   net::time_point first_receive_time = 0;
   net::time_point last_receive_time = 0;
+  /// When the first application (STREAM) byte arrived; 0 when the
+  /// probe did not request application data or never received any.
+  net::time_point first_app_byte_time = 0;
+  /// Application bytes received over the whole observation.
+  std::size_t app_bytes_received = 0;
 
   /// First-burst amplification factor (Fig. 4): UDP payload received
   /// before validation over UDP payload sent in the first flight.
@@ -152,6 +163,7 @@ class client {
   bool finished_sent_ = false;
   std::uint64_t next_pn_initial_ = 0;
   std::uint64_t next_pn_handshake_ = 0;
+  std::uint64_t next_pn_app_ = 0;
 };
 
 }  // namespace certquic::quic

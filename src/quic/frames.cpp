@@ -10,6 +10,8 @@ constexpr std::uint8_t kPadding = 0x00;
 constexpr std::uint8_t kPing = 0x01;
 constexpr std::uint8_t kAck = 0x02;
 constexpr std::uint8_t kCrypto = 0x06;
+// STREAM with OFF, LEN and FIN bits (RFC 9000 §19.8).
+constexpr std::uint8_t kStreamOffLenFin = 0x0f;
 constexpr std::uint8_t kConnectionClose = 0x1c;
 
 struct size_visitor {
@@ -26,6 +28,10 @@ struct size_visitor {
   std::size_t operator()(const connection_close_frame& f) const {
     return 1 + varint_size(f.error_code) + 1 +
            varint_size(f.reason.size()) + f.reason.size();
+  }
+  std::size_t operator()(const stream_frame& f) const {
+    return 1 + varint_size(f.id) + varint_size(f.offset) +
+           varint_size(f.data.size()) + f.data.size();
   }
 };
 
@@ -53,6 +59,13 @@ struct write_visitor {
     write_varint(w, 0);  // offending frame type
     write_varint(w, f.reason.size());
     w.raw(f.reason);
+  }
+  void operator()(const stream_frame& f) const {
+    w.u8(kStreamOffLenFin);
+    write_varint(w, f.id);
+    write_varint(w, f.offset);
+    write_varint(w, f.data.size());
+    w.raw(f.data);
   }
 };
 
@@ -107,6 +120,17 @@ std::vector<frame> parse_frames(bytes_view payload) {
         out.push_back(std::move(f));
         break;
       }
+      case kStreamOffLenFin: {
+        (void)r.u8();
+        stream_frame f;
+        f.id = read_varint(r);
+        f.offset = read_varint(r);
+        const std::uint64_t len = read_varint(r);
+        const bytes_view data = r.raw(len);
+        f.data.assign(data.begin(), data.end());
+        out.push_back(std::move(f));
+        break;
+      }
       case kConnectionClose: {
         (void)r.u8();
         connection_close_frame f;
@@ -127,7 +151,8 @@ std::vector<frame> parse_frames(bytes_view payload) {
 
 bool is_ack_eliciting(const frame& f) {
   return std::holds_alternative<ping_frame>(f) ||
-         std::holds_alternative<crypto_frame>(f);
+         std::holds_alternative<crypto_frame>(f) ||
+         std::holds_alternative<stream_frame>(f);
 }
 
 frame_accounting account(const std::vector<frame>& frames) {
@@ -137,6 +162,8 @@ frame_accounting account(const std::vector<frame>& frames) {
       acc.crypto_payload += crypto->data.size();
     } else if (const auto* padding = std::get_if<padding_frame>(&f)) {
       acc.padding += padding->count;
+    } else if (const auto* stream = std::get_if<stream_frame>(&f)) {
+      acc.stream_payload += stream->data.size();
     }
     acc.ack_eliciting = acc.ack_eliciting || is_ack_eliciting(f);
   }

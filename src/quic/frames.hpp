@@ -36,8 +36,17 @@ struct connection_close_frame {
   std::string reason;
 };
 
+/// STREAM — application data (RFC 9000 §19.8). Encoded with the OFF,
+/// LEN and FIN bits all set (type 0x0f), the one shape the handshake
+/// timeline needs: a request and a response, each a single chunk.
+struct stream_frame {
+  std::uint64_t id = 0;
+  std::uint64_t offset = 0;
+  bytes data;
+};
+
 using frame = std::variant<padding_frame, ping_frame, ack_frame, crypto_frame,
-                           connection_close_frame>;
+                           connection_close_frame, stream_frame>;
 
 /// Serialized size of a frame in bytes.
 [[nodiscard]] std::size_t frame_size(const frame& f);
@@ -57,6 +66,7 @@ void write_frame(buffer_writer& w, const frame& f);
 struct frame_accounting {
   std::size_t crypto_payload = 0;  // TLS bytes (CRYPTO frame data)
   std::size_t padding = 0;         // PADDING bytes
+  std::size_t stream_payload = 0;  // application bytes (STREAM data)
   bool ack_eliciting = false;
 };
 [[nodiscard]] frame_accounting account(const std::vector<frame>& frames);

@@ -8,6 +8,10 @@ namespace certquic::quic {
 namespace {
 
 std::uint8_t first_byte(const packet& p) {
+  if (p.type == packet_type::one_rtt) {
+    // Short header: form=0, fixed=1, spin/key/reserved=0, pn_len-1.
+    return static_cast<std::uint8_t>(0x40 | (kPacketNumberSize - 1));
+  }
   // form=1, fixed=1, type, reserved=0, pn_len encoded as len-1.
   return static_cast<std::uint8_t>(
       0xc0 | (static_cast<std::uint8_t>(p.type) << 4) |
@@ -34,6 +38,14 @@ bool packet::ack_eliciting() const {
 }
 
 std::size_t packet::wire_size() const {
+  if (type == packet_type::one_rtt) {
+    // Short header: no version, scid or length field; the packet runs
+    // to the end of the datagram. (The dcid keeps its length prefix —
+    // a simulation convention, since real 1-RTT receivers know their
+    // own cid length while this codec parses packets generically.)
+    return 1 + 1 + dcid.size() + kPacketNumberSize + payload_size() +
+           kAeadTagSize;
+  }
   std::size_t header = 1 + 4 + 1 + dcid.size() + 1 + scid.size();
   if (is_version_negotiation()) {
     return header + 4 * supported_versions.size();
@@ -53,6 +65,16 @@ std::size_t packet::wire_size() const {
 bytes encode_packet(const packet& p) {
   buffer_writer w;
   w.u8(first_byte(p));
+  if (p.type == packet_type::one_rtt) {
+    w.u8(static_cast<std::uint8_t>(p.dcid.size()));
+    w.raw(p.dcid);
+    w.u16(static_cast<std::uint16_t>(p.packet_number));
+    for (const auto& f : p.frames) {
+      write_frame(w, f);
+    }
+    w.zeros(kAeadTagSize);
+    return std::move(w).take();
+  }
   w.u32(p.version);
   w.u8(static_cast<std::uint8_t>(p.dcid.size()));
   w.raw(p.dcid);
@@ -93,7 +115,24 @@ std::vector<packet> parse_datagram(bytes_view payload) {
     }
     const std::uint8_t first = r.u8();
     if ((first & 0x80) == 0) {
-      throw codec_error("short-header packets not used in handshakes");
+      if ((first & 0x40) == 0) {
+        throw codec_error("packet without the fixed bit");
+      }
+      // Short header (1-RTT): no length field, so the packet consumes
+      // the rest of the datagram — it is always the last one.
+      packet p;
+      p.type = packet_type::one_rtt;
+      const std::uint8_t dcid_len = r.u8();
+      const auto dcid = r.raw(dcid_len);
+      p.dcid.assign(dcid.begin(), dcid.end());
+      if (r.remaining() < kPacketNumberSize + kAeadTagSize) {
+        throw codec_error("short-header packet truncated");
+      }
+      p.packet_number = r.u16();
+      p.frames = parse_frames(r.raw(r.remaining() - kAeadTagSize));
+      r.skip(kAeadTagSize);
+      out.push_back(std::move(p));
+      break;
     }
     packet p;
     p.type = static_cast<packet_type>((first >> 4) & 0x03);
@@ -227,6 +266,7 @@ datagram_accounting account_datagram(bytes_view payload) {
     const frame_accounting fa = account(p.frames);
     acc.crypto_payload += fa.crypto_payload;
     acc.padding += fa.padding;
+    acc.stream_payload += fa.stream_payload;
     acc.has_initial |= p.type == packet_type::initial;
     acc.has_handshake |= p.type == packet_type::handshake;
     acc.has_retry |= p.type == packet_type::retry;

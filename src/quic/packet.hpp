@@ -1,7 +1,7 @@
-// QUIC v1 long-header packets and datagram (de)coalescing (RFC 9000
-// §17.2). AEAD is modelled by a 16-byte tag; header protection is not
-// applied (the simulation parses its own packets). All sizes on the
-// wire are exact.
+// QUIC v1 long-header packets, short-header 1-RTT packets and datagram
+// (de)coalescing (RFC 9000 §17.2/§17.3). AEAD is modelled by a 16-byte
+// tag; header protection is not applied (the simulation parses its own
+// packets). All sizes on the wire are exact.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +21,17 @@ inline constexpr std::size_t kAeadTagSize = 16;
 /// Packet-number length used throughout the simulation.
 inline constexpr std::size_t kPacketNumberSize = 2;
 
-/// Long-header packet types.
+/// Packet types: the four long-header values (which are also their
+/// wire type bits) plus the short-header 1-RTT form. 1-RTT packets
+/// carry the post-handshake application data (STREAM frames) of the
+/// TTFB timeline; having no length field, they extend to the end of
+/// the datagram and must therefore be coalesced last (RFC 9000 §12.2).
 enum class packet_type : std::uint8_t {
   initial = 0,
   zero_rtt = 1,
   handshake = 2,
   retry = 3,
+  one_rtt = 4,  // short header; not a long-header type-bits value
 };
 
 /// A QUIC long-header packet before encryption.
@@ -82,6 +87,7 @@ struct datagram_accounting {
   std::size_t total = 0;           // UDP payload bytes
   std::size_t crypto_payload = 0;  // TLS bytes
   std::size_t padding = 0;         // PADDING bytes
+  std::size_t stream_payload = 0;  // application STREAM bytes
   bool has_initial = false;
   bool has_handshake = false;
   bool has_retry = false;

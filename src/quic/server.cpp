@@ -153,6 +153,12 @@ void server::on_datagram(const net::datagram& d) {
     if (!c.validated) {
       c.validated = true;
       ++c.pto_generation;  // cancel outstanding retransmission timers
+      if (c.budget_blocked) {
+        // The budget had a flight parked; validation releases it now —
+        // account how long the limit gated the timeline.
+        c.budget_blocked = false;
+        stats_.budget_blocked_us += sim_.now() - c.blocked_since;
+      }
       pump(c, /*include_ack=*/false);
     }
     for (const packet& p : packets) {
@@ -162,6 +168,9 @@ void server::on_datagram(const net::datagram& d) {
       if (p.type == packet_type::initial) {
         c.largest_seen_initial_pn = std::max(c.largest_seen_initial_pn,
                                              p.packet_number);
+      }
+      if (p.type == packet_type::one_rtt) {
+        maybe_send_app_response(c, p);
       }
     }
     return;
@@ -305,7 +314,23 @@ void server::transmit(connection& c, std::vector<packet> packets) {
   const bytes wire = encode_datagram(packets);
   ++stats_.datagrams_sent;
   stats_.bytes_sent += wire.size();
-  sim_.send({address_, c.peer, wire});
+  if (behavior_.pacing_bps == 0) {
+    sim_.send({address_, c.peer, wire});
+    return;
+  }
+  // Pacing: space this connection's datagrams by their serialization
+  // time at pacing_bps instead of bursting them at one instant. The
+  // send itself is deferred via a timer; the datagram's fate (path
+  // loss, MTU) is still decided at departure.
+  const std::uint64_t bits = static_cast<std::uint64_t>(wire.size()) * 8;
+  const net::duration serialize =
+      (bits * 1'000'000 + behavior_.pacing_bps - 1) / behavior_.pacing_bps;
+  const net::time_point depart = std::max(sim_.now(), c.next_send_at);
+  c.next_send_at = depart + serialize;
+  const net::endpoint_id peer = c.peer;
+  sim_.schedule(depart - sim_.now(), [this, peer, wire]() {
+    sim_.send({address_, peer, wire});
+  });
 }
 
 void server::pump(connection& c, bool include_ack) {
@@ -427,6 +452,13 @@ void server::pump(connection& c, bool include_ack) {
       }
     }
     if (!charge(c, wire, padding, handshake_packets)) {
+      if (!c.budget_blocked && !c.validated) {
+        // The limit is now gating *time*, not just volume: this flight
+        // stalls until the client's next datagram validates the path.
+        c.budget_blocked = true;
+        c.blocked_since = sim_.now();
+        ++stats_.budget_blocked_flights;
+      }
       // Budget exhausted: roll back the stream watermarks consumed by
       // this datagram and wait for validation.
       for (const auto& p : dgram) {
@@ -495,6 +527,35 @@ void server::retransmit(connection& c) {
   }
   c.pto *= 2;
   arm_pto(c);
+}
+
+void server::maybe_send_app_response(connection& c, const packet& p) {
+  if (c.app_response_sent) {
+    return;
+  }
+  const stream_frame* request = nullptr;
+  for (const frame& f : p.frames) {
+    if (const auto* sf = std::get_if<stream_frame>(&f)) {
+      request = sf;
+      break;
+    }
+  }
+  if (request == nullptr) {
+    return;
+  }
+  c.app_response_sent = true;
+  // A fixed-size response head: the timeline only needs the *first*
+  // application byte, so one datagram stands in for the object. The
+  // client sends its request only after the handshake completed, so
+  // the path is validated and no budget applies here.
+  packet resp;
+  resp.type = packet_type::one_rtt;
+  resp.dcid = c.client_scid;
+  resp.packet_number = c.next_pn_app++;
+  resp.frames.push_back(stream_frame{request->id, 0, bytes(256, 0x5a)});
+  std::vector<packet> dgram;
+  dgram.push_back(std::move(resp));
+  transmit(c, std::move(dgram));
 }
 
 void server::arm_pto(connection& c) {

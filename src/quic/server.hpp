@@ -21,6 +21,14 @@ struct server_stats {
   std::uint64_t datagrams_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t retransmission_flights = 0;
+  /// Flights the amplification limit held back until validation — the
+  /// budget gating *when* bytes go out, not just whether (the stall is
+  /// the round trip the multi-RTT timelines pay).
+  std::uint64_t budget_blocked_flights = 0;
+  /// Total virtual time connections spent with a flight blocked on the
+  /// amplification budget, from the blocking send attempt until
+  /// validation released it.
+  std::uint64_t budget_blocked_us = 0;
 };
 
 /// A QUIC/TLS server. One instance serves one certificate chain under
@@ -70,6 +78,11 @@ class server {
     std::size_t retransmissions = 0;
     net::duration pto = 0;
     std::uint64_t pto_generation = 0;  // cancels stale timers
+    bool budget_blocked = false;       // a flight waits on validation
+    net::time_point blocked_since = 0;
+    bool app_response_sent = false;    // one response per connection
+    std::uint64_t next_pn_app = 0;
+    net::time_point next_send_at = 0;  // pacing horizon (pacing_bps)
   };
 
   void on_datagram(const net::datagram& d);
@@ -80,6 +93,10 @@ class server {
   /// Retransmits everything sent so far (unvalidated client timeout).
   void retransmit(connection& c);
   void arm_pto(connection& c);
+  /// Answers the client's 1-RTT STREAM request with one response
+  /// datagram (once per connection) — the application byte the TTFB
+  /// timeline ends on.
+  void maybe_send_app_response(connection& c, const packet& p);
 
   /// Checks and charges the amplification budget for one datagram of
   /// `wire_bytes` containing `padding_bytes` of padding and

@@ -20,10 +20,17 @@ probe_result reach::probe(const internet::service_record& rec,
   const net::endpoint_id client_ep{net::ipv4::of(10, 99, 0, 1), 40443};
 
   // Forward path: the encapsulating load balancer (if any) eats into
-  // the MTU in front of the server (§4.1).
+  // the MTU in front of the server (§4.1). Both directions then share
+  // the probe's network condition (delay/loss/bandwidth); the default
+  // condition reproduces the historical 10 ms-each-way setup exactly.
   net::path_config to_server;
   to_server.encapsulation_overhead = rec.lb_overhead;
+  opt.network.apply_to(to_server);
   sim.set_path_to(server_ep, to_server);
+  net::path_config to_client;
+  opt.network.apply_to(to_client);
+  to_client.one_way_delay = opt.network.rtt - opt.network.rtt / 2;
+  sim.set_path_to(client_ep, to_client);
 
   quic::server srv{sim,
                    server_ep,
@@ -41,6 +48,7 @@ probe_result reach::probe(const internet::service_record& rec,
   config.capture_certificate = opt.capture_certificate;
   config.send_acks = opt.send_acks;
   config.ack_delay = opt.ack_delay;
+  config.fetch_app_data = opt.measure_ttfb;
   if (opt.timeout) {
     config.timeout = *opt.timeout;
   }
@@ -52,6 +60,9 @@ probe_result reach::probe(const internet::service_record& rec,
   probe_result out;
   out.obs = cli.result();
   out.cls = classify(out.obs);
+  if (out.obs.first_app_byte_time != 0) {
+    out.ttfb = out.obs.first_app_byte_time - out.obs.start_time;
+  }
   return out;
 }
 

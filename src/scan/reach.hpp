@@ -8,6 +8,7 @@
 
 #include "internet/chain_cache.hpp"
 #include "internet/model.hpp"
+#include "net/simulator.hpp"
 #include "net/time.hpp"
 #include "scan/classify.hpp"
 
@@ -36,12 +37,25 @@ struct probe_options {
   /// engine-supplied per-probe seed (engine::probe_seed); 0 preserves
   /// the historical seeds the golden figures are captured under.
   std::uint64_t seed_override = 0;
+  /// Network regime both directions of the probe run under. The
+  /// default ("ideal": 20 ms RTT, no loss, no bandwidth cap) is
+  /// exactly the historical simulator setup, so existing plans and
+  /// goldens are unchanged.
+  net::network_condition network{};
+  /// Request one application object after the handshake and time the
+  /// first response byte (probe_result::ttfb). Off by default — the
+  /// extra exchange perturbs byte totals that size-domain goldens pin.
+  bool measure_ttfb = false;
 };
 
 /// One probe's result.
 struct probe_result {
   handshake_class cls = handshake_class::unreachable;
   quic::observation obs;
+  /// Handshake timeline: first Initial sent → first application byte
+  /// received. 0 when the probe did not measure TTFB (measure_ttfb
+  /// off) or never saw an application byte (failed/lossy exchange).
+  net::duration ttfb = 0;
 };
 
 /// Stateless prober over a synthetic-Internet model. Each probe runs in

@@ -4,27 +4,62 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "util/text_table.hpp"
 
 namespace certquic::stats {
 
+sample_set::sample_set(const sample_set& other)
+    : samples_(other.samples_),
+      sorted_(other.sorted_.load(std::memory_order_acquire)) {}
+
+sample_set& sample_set::operator=(const sample_set& other) {
+  if (this != &other) {
+    samples_ = other.samples_;
+    sorted_.store(other.sorted_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+  }
+  return *this;
+}
+
+sample_set::sample_set(sample_set&& other) noexcept
+    : samples_(std::move(other.samples_)),
+      sorted_(other.sorted_.load(std::memory_order_acquire)) {}
+
+sample_set& sample_set::operator=(sample_set&& other) noexcept {
+  if (this != &other) {
+    samples_ = std::move(other.samples_);
+    sorted_.store(other.sorted_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+  }
+  return *this;
+}
+
 void sample_set::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 void sample_set::add_all(const std::vector<double>& xs) {
   samples_.insert(samples_.end(), xs.begin(), xs.end());
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 void sample_set::reserve(std::size_t n) { samples_.reserve(n); }
 
+void sample_set::finalize() { ensure_sorted(); }
+
 void sample_set::ensure_sorted() const {
-  if (!sorted_) {
+  // Double-checked: the release-store below pairs with this acquire,
+  // so a thread seeing sorted_ == true also sees the sorted samples_.
+  if (sorted_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock{sort_mutex_};
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    sorted_.store(true, std::memory_order_release);
   }
 }
 

@@ -2,7 +2,9 @@
 // regenerating the paper's cumulative plots.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,8 +20,27 @@ struct cdf_point {
 ///
 /// Samples are sorted lazily on first query; adding after a query is
 /// allowed and re-sorts on the next query.
+///
+/// Thread-safety contract: mutation (add/add_all/reserve) is
+/// single-threaded, like any container. Const queries are safe to call
+/// concurrently — the lazy sort is guarded, so the first query from
+/// any thread sorts exactly once and later queries are pure reads.
+/// Aggregators that share a finished set across threads should still
+/// call finalize() once before publishing it; that makes every
+/// subsequent query lock-free instead of paying the guard's fast-path
+/// atomic load under contention.
 class sample_set {
  public:
+  sample_set() = default;
+  // The sort guard (a mutex) is per-object state, not data: copies and
+  // moves transfer the samples and sort flag and get fresh guards.
+  // Copying concurrently with a query on the source is outside the
+  // contract above (it reads samples_ unguarded).
+  sample_set(const sample_set& other);
+  sample_set& operator=(const sample_set& other);
+  sample_set(sample_set&& other) noexcept;
+  sample_set& operator=(sample_set&& other) noexcept;
+
   /// Adds one observation.
   void add(double x);
   /// Adds many observations.
@@ -28,6 +49,11 @@ class sample_set {
   /// paths call this once with the planned probe count so large sweeps
   /// do not pay reallocation churn per add().
   void reserve(std::size_t n);
+
+  /// Sorts eagerly so the set can be shared read-only across threads
+  /// with no synchronization on the query path. Called by aggregators
+  /// in on_end(), before results fan out to parallel readers.
+  void finalize();
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
@@ -57,7 +83,10 @@ class sample_set {
   void ensure_sorted() const;
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  /// Guards the lazy sort only; queries after the acquire-load of
+  /// sorted_ touch samples_ without locking.
+  mutable std::mutex sort_mutex_;
+  mutable std::atomic<bool> sorted_{true};
 };
 
 /// Fixed-width histogram over [lo, hi) used for binned figures

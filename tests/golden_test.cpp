@@ -57,6 +57,10 @@ TEST(Golden, FigPqcChainImpact) { check_bench("fig_pqc_chain_impact"); }
 
 TEST(Golden, FigOutofcoreRss) { check_bench("fig_outofcore_rss"); }
 
+TEST(Golden, FigTtfbCdf) { check_bench("fig_ttfb_cdf"); }
+
+TEST(Golden, FigTtfbPqc) { check_bench("fig_ttfb_pqc"); }
+
 }  // namespace
 }  // namespace certquic::test
 

@@ -172,6 +172,122 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, RunUntilMaxEventsExitKeepsTimeMonotonic) {
+  // Regression: exiting on max_events with events still queued before
+  // the deadline used to force now() to the deadline anyway, so the
+  // next run() fired those events *in the past* — handlers observed
+  // sim.now() jump backwards. now() must stay at the last processed
+  // event when the queue is not drained.
+  simulator sim;
+  std::vector<time_point> fired_at;
+  sim.schedule(milliseconds(10), [&]() { fired_at.push_back(sim.now()); });
+  sim.schedule(milliseconds(20), [&]() { fired_at.push_back(sim.now()); });
+
+  const std::size_t processed = sim.run_until(milliseconds(50), 1);
+  EXPECT_EQ(processed, 1u);
+  EXPECT_EQ(sim.now(), milliseconds(10));  // not 50: queue not drained
+
+  sim.run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], milliseconds(10));
+  EXPECT_EQ(fired_at[1], milliseconds(20));  // fires at 20, not "at" 50
+  EXPECT_EQ(sim.now(), milliseconds(20));
+}
+
+TEST(Simulator, RunUntilDrainedQueueStillAdvancesToDeadline) {
+  // The companion invariant: when everything up to the deadline has
+  // fired, now() does advance to the deadline (callers rely on it as
+  // the observation cut-off).
+  simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(10), [&]() { ++fired; });
+  sim.schedule(milliseconds(60), [&]() { ++fired; });
+  sim.run_until(milliseconds(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(50));
+}
+
+TEST(Simulator, LossPatternStableAcrossConfigChanges) {
+  // Loss is a pure function of (seed, send sequence): reconfiguring an
+  // unrelated path — here shrinking B's MTU so some of its datagrams
+  // are dropped oversize instead of sent — must not shift which of A's
+  // datagrams are lost. Under a shared RNG stream it would.
+  const endpoint_id kVictim{ipv4::of(10, 0, 0, 3), 443};
+  auto run_pattern = [&](std::size_t b_mtu) {
+    simulator sim{777};
+    std::vector<int> arrived;
+    sim.attach(kVictim, [&](const datagram& d) {
+      arrived.push_back(static_cast<int>(d.payload[0]));
+    });
+    sim.attach(kB, [](const datagram&) {});
+    path_config lossy;
+    lossy.loss_rate = 0.5;
+    sim.set_path_to(kVictim, lossy);
+    // The other path is lossy too: under a shared RNG stream, dropping
+    // its datagrams oversize (small MTU) skips their loss draws and
+    // shifts every later draw — which is exactly the cascade the
+    // per-sequence hash eliminates.
+    path_config b_path;
+    b_path.mtu = b_mtu;
+    b_path.loss_rate = 0.5;
+    sim.set_path_to(kB, b_path);
+    for (int i = 0; i < 50; ++i) {
+      sim.send({kA, kVictim, bytes(1, static_cast<std::uint8_t>(i))});
+      sim.send({kA, kB, payload_of(1400)});  // interleaved other traffic
+    }
+    sim.run();
+    return arrived;
+  };
+  // 1500 carries the 1400-byte datagrams; 1000 drops them oversize.
+  EXPECT_EQ(run_pattern(1500), run_pattern(1000));
+}
+
+TEST(Simulator, BandwidthSerializesBursts) {
+  // 1 Mbit/s: a 1250-byte datagram occupies the link for 10 ms. Three
+  // sent back-to-back at t=0 arrive one serialization apart, each after
+  // the 10 ms propagation delay.
+  simulator sim;
+  std::vector<time_point> arrivals;
+  sim.attach(kB, [&](const datagram&) { arrivals.push_back(sim.now()); });
+  path_config path;
+  path.bandwidth_bps = 1'000'000;
+  sim.set_path_to(kB, path);
+  for (int i = 0; i < 3; ++i) {
+    sim.send({kA, kB, payload_of(1250)});
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], milliseconds(20));  // 10 serialize + 10 delay
+  EXPECT_EQ(arrivals[1], milliseconds(30));
+  EXPECT_EQ(arrivals[2], milliseconds(40));
+}
+
+TEST(Simulator, EqualTimestampDatagramsDeliverFifo) {
+  // Deliveries with identical timestamps keep send order — the same
+  // FIFO tie-break the timer test pins, but through the datagram path.
+  simulator sim;
+  std::vector<int> order;
+  sim.attach(kB, [&](const datagram& d) {
+    order.push_back(static_cast<int>(d.payload[0]));
+  });
+  for (int i = 0; i < 4; ++i) {
+    sim.send({kA, kB, bytes(1, static_cast<std::uint8_t>(i))});
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(NetworkCondition, DefaultMatchesHistoricalPath) {
+  network_condition cond;
+  path_config path;
+  path.encapsulation_overhead = 13;
+  cond.apply_to(path);
+  EXPECT_EQ(path.one_way_delay, milliseconds(10));
+  EXPECT_EQ(path.loss_rate, 0.0);
+  EXPECT_EQ(path.bandwidth_bps, 0u);
+  EXPECT_EQ(path.encapsulation_overhead, 13u);  // left to the caller
+}
+
 TEST(Simulator, DetachMakesEndpointUnroutable) {
   simulator sim;
   int received = 0;

@@ -6,6 +6,7 @@
 
 #include "core/certificates.hpp"
 #include "core/pqc_study.hpp"
+#include "core/ttfb_study.hpp"
 #include "internet/chain_cache.hpp"
 
 namespace certquic::core {
@@ -90,6 +91,31 @@ TEST(PqcStudy, ProfilesShiftSizesAndClassesMonotonically) {
   // Every profile probed the same services.
   EXPECT_EQ(classical.probed, leaf.probed);
   EXPECT_EQ(classical.probed, full.probed);
+}
+
+TEST(PqcStudy, TtfbMonotoneAcrossProfilesUnderMatchedRandomness) {
+  // Matched per-probe randomness (base seed and salt zero) makes the
+  // profile runs paired samples: the only difference is chain size, so
+  // per-service TTFB can only grow with the profile — which makes the
+  // medians monotone classical <= pqc_leaf <= pqc_full on every
+  // network condition.
+  ttfb_options opt;
+  opt.max_services = 150;
+  const auto study = run_ttfb_study(shared_model(), opt);
+  ASSERT_EQ(study.cells.size(), 3 * study.conditions.size());
+  for (std::size_t c = 0; c < study.conditions.size(); ++c) {
+    const auto& classical = study.cell(x509::pq_profile::classical, c);
+    const auto& leaf = study.cell(x509::pq_profile::pqc_leaf, c);
+    const auto& full = study.cell(x509::pq_profile::pqc_full, c);
+    ASSERT_FALSE(classical.ttfb_ms.empty());
+    EXPECT_LE(classical.ttfb_ms.median(), leaf.ttfb_ms.median())
+        << study.conditions[c].name;
+    EXPECT_LE(leaf.ttfb_ms.median(), full.ttfb_ms.median())
+        << study.conditions[c].name;
+    // Bigger chains never make more probes fetch the object.
+    EXPECT_LE(full.completed(), classical.completed())
+        << study.conditions[c].name;
+  }
 }
 
 TEST(ChainCache, KeysIncludeChainProfile) {

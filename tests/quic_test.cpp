@@ -55,6 +55,7 @@ TEST(Frames, SizesMatchEncoding) {
       ping_frame{},
       ack_frame{7},
       crypto_frame{100, crypto_data},
+      stream_frame{0, 64, bytes(48, 0x33)},
       connection_close_frame{0x0a, "bye"},
   };
   for (const auto& f : frames) {
@@ -166,9 +167,66 @@ TEST(Packet, PadDatagramHitsExactTarget) {
   }
 }
 
-TEST(Packet, ParseRejectsShortHeader) {
+TEST(Packet, ParseRejectsMissingFixedBit) {
+  // A non-zero first byte with neither the long-header nor the fixed
+  // bit set is not a QUIC packet (a 0x00 byte would be datagram-level
+  // padding instead).
+  const bytes data = {0x20, 0x01, 0x02};
+  EXPECT_THROW((void)parse_datagram(data), codec_error);
+}
+
+TEST(Packet, ParseRejectsTruncatedShortHeader) {
+  // A fixed-bit short header that ends before packet number + AEAD tag.
   const bytes data = {0x40, 0x01, 0x02};
   EXPECT_THROW((void)parse_datagram(data), codec_error);
+}
+
+TEST(Packet, OneRttRoundTrip) {
+  rng r{6};
+  packet p;
+  p.type = packet_type::one_rtt;
+  p.dcid.resize(8);
+  r.fill(p.dcid);
+  p.packet_number = 3;
+  p.frames.push_back(stream_frame{0, 0, bytes(200, 0x5a)});
+  const bytes wire = encode_datagram({p});
+  EXPECT_EQ(wire.size(), p.wire_size());
+  const auto parsed = parse_datagram(wire);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].type, packet_type::one_rtt);
+  EXPECT_EQ(parsed[0].dcid, p.dcid);
+  EXPECT_EQ(parsed[0].packet_number, 3u);
+  ASSERT_EQ(parsed[0].frames.size(), 1u);
+  const auto* sf = std::get_if<stream_frame>(&parsed[0].frames[0]);
+  ASSERT_NE(sf, nullptr);
+  EXPECT_EQ(sf->data, bytes(200, 0x5a));
+
+  const auto acc = account_datagram(wire);
+  EXPECT_EQ(acc.stream_payload, 200u);
+}
+
+TEST(Packet, OneRttCoalescesLastAfterLongHeaders) {
+  // A short-header packet has no length field, so it must close the
+  // datagram; the parser consumes the rest of the buffer for it.
+  rng r{7};
+  packet hs;
+  hs.type = packet_type::handshake;
+  hs.dcid.resize(8);
+  r.fill(hs.dcid);
+  hs.frames.push_back(crypto_frame{0, bytes(40, 0x21)});
+
+  packet app;
+  app.type = packet_type::one_rtt;
+  app.dcid = hs.dcid;
+  app.frames.push_back(stream_frame{0, 0, bytes(15, 0x47)});
+
+  const auto parsed = parse_datagram(encode_datagram({hs, app}));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].type, packet_type::handshake);
+  EXPECT_EQ(parsed[1].type, packet_type::one_rtt);
+  const auto* sf = std::get_if<stream_frame>(&parsed[1].frames[0]);
+  ASSERT_NE(sf, nullptr);
+  EXPECT_EQ(sf->data.size(), 15u);
 }
 
 TEST(Packet, TrailingZerosAreDatagramPadding) {
@@ -314,6 +372,99 @@ TEST(Handshake, UndersizedInitialIsDropped) {
                                         .timeout = net::seconds(1)});
   EXPECT_FALSE(obs.response_received);
   EXPECT_TRUE(obs.timed_out);
+}
+
+TEST(Handshake, AppDataExchangeMeasuresTtfb) {
+  handshake_fixture fx;
+  client_config config;
+  config.initial_size = 1362;
+  config.fetch_app_data = true;
+  const auto obs = fx.run("cloudflare", server_behavior::compliant(),
+                          std::move(config));
+  ASSERT_TRUE(obs.handshake_complete);
+  EXPECT_EQ(obs.app_bytes_received, 256u);
+  // 1-RTT timeline: the request coalesces with the Finished flight,
+  // which leaves ack_delay (1 ms) after the server burst arrives; the
+  // response lands one RTT (20 ms) later.
+  EXPECT_EQ(obs.first_app_byte_time,
+            obs.complete_time + net::milliseconds(1) + net::milliseconds(20));
+}
+
+TEST(Handshake, NoAppDataWithoutFetchFlag) {
+  handshake_fixture fx;
+  const auto obs = fx.run("cloudflare", server_behavior::compliant(),
+                          client_config{.initial_size = 1362});
+  EXPECT_TRUE(obs.handshake_complete);
+  EXPECT_EQ(obs.app_bytes_received, 0u);
+  EXPECT_EQ(obs.first_app_byte_time, 0u);
+}
+
+TEST(Handshake, PtoRetransmissionTimingUnderLoss) {
+  // The server's first flight is lost; the PTO retransmission restores
+  // the handshake on an exact deterministic timeline: client Initial
+  // arrives at 10 ms, the first flight (sent at 10 ms) is dropped, the
+  // 400 ms PTO fires at 410 ms and the retransmitted flight lands at
+  // 420 ms. The google profile retransmits outside the amplification
+  // limit — a compliant server has no budget left for the resend and
+  // must wait for the client to retry instead.
+  handshake_fixture fx;
+  net::path_config to_client;
+  to_client.loss_rate = 1.0;
+  fx.sim.set_path_to(kClientEp, to_client);
+  fx.sim.schedule(net::milliseconds(100), [&fx]() {
+    fx.sim.set_path_to(kClientEp, net::path_config{});  // loss ends
+  });
+  const auto obs = fx.run("cloudflare", server_behavior::google(),
+                          client_config{.initial_size = 1362});
+  ASSERT_TRUE(obs.handshake_complete);
+  EXPECT_EQ(obs.first_receive_time, net::milliseconds(420));
+}
+
+TEST(Handshake, ServerPacingSpreadsBurstWithoutChangingBytes) {
+  handshake_fixture fx_burst;
+  const auto burst = fx_burst.run("le-r3-x1cross",
+                                  server_behavior::standard_no_coalesce(),
+                                  client_config{.initial_size = 1362});
+
+  handshake_fixture fx_paced;
+  server_behavior paced = server_behavior::standard_no_coalesce();
+  paced.pacing_bps = 2'000'000;  // ~5 ms per full datagram
+  const auto spread = fx_paced.run("le-r3-x1cross", paced,
+                                   client_config{.initial_size = 1362});
+
+  ASSERT_TRUE(burst.handshake_complete);
+  ASSERT_TRUE(spread.handshake_complete);
+  // Pacing only re-times the same bytes.
+  EXPECT_EQ(spread.bytes_received_total, burst.bytes_received_total);
+  EXPECT_EQ(spread.tls_bytes_received, burst.tls_bytes_received);
+  // The multi-datagram burst arrives spread out, delaying completion.
+  EXPECT_GT(spread.complete_time, burst.complete_time);
+  EXPECT_GT(spread.last_receive_time - spread.first_receive_time,
+            burst.last_receive_time - burst.first_receive_time);
+}
+
+TEST(Handshake, BudgetBlockedFlightsAreTimed) {
+  // A chain larger than 3x the client Initial forces the compliant
+  // server to park its flight on the amplification budget until the
+  // client's ACK validates the path; the stats record both the event
+  // and the blocked duration (at least the client-side ack_delay, at
+  // most the round trip that releases it).
+  net::simulator sim;
+  ca::ecosystem eco = ca::ecosystem::make();
+  rng issue_rng{99};
+  auto chain = eco.issue(eco.profile("le-r3-x1cross"), "x.org", issue_rng);
+  server srv{sim,   kServerEp, std::move(chain),
+             server_behavior::compliant(), eco.compression_dictionary(), 1};
+  client cli{sim, kClientEp, kServerEp,
+             client_config{.initial_size = 1362}, 2};
+  cli.start();
+  sim.run();
+  ASSERT_TRUE(cli.result().handshake_complete);
+  EXPECT_GE(srv.stats().budget_blocked_flights, 1u);
+  EXPECT_GE(srv.stats().budget_blocked_us,
+            static_cast<std::uint64_t>(net::milliseconds(1)));
+  EXPECT_LE(srv.stats().budget_blocked_us,
+            static_cast<std::uint64_t>(net::milliseconds(21)));
 }
 
 // Property: an RFC-9000-compliant server never exceeds the 3x limit

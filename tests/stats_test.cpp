@@ -1,7 +1,11 @@
 // Unit and property tests for the stats module.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
@@ -96,6 +100,63 @@ TEST(SampleSet, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(s.median(), 5.0);
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, ConcurrentQuantileReadsAreSafe) {
+  // Regression for the lazy-sort data race: const quantile queries used
+  // to sort through mutable state with no synchronization, so two
+  // first readers could sort the vector under each other. The guarded
+  // sort must give every concurrent reader the same answer (run under
+  // TSan this also proves the absence of the race).
+  sample_set s;
+  rng r{99};
+  for (int i = 0; i < 10'000; ++i) {
+    s.add(r.log_normal(3.0, 1.0));
+  }
+  // Deliberately NOT finalized: the first readers race to sort.
+  std::vector<std::thread> threads;
+  std::array<double, 8> medians{};
+  for (std::size_t t = 0; t < medians.size(); ++t) {
+    threads.emplace_back([&s, &medians, t]() {
+      for (int i = 0; i < 100; ++i) {
+        medians[t] = s.median();
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (const double m : medians) {
+    EXPECT_DOUBLE_EQ(m, medians[0]);
+  }
+}
+
+TEST(SampleSet, FinalizeMakesReadsLockFree) {
+  sample_set s;
+  for (const double v : {5.0, 1.0, 3.0}) {
+    s.add(v);
+  }
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  // Adding again invalidates the sort; finalize restores it.
+  s.add(0.0);
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleSet, CopyAndMovePreserveSamplesAndSortState) {
+  sample_set s;
+  for (const double v : {9.0, 2.0, 7.0}) {
+    s.add(v);
+  }
+  sample_set copied = s;  // unsorted copy
+  EXPECT_DOUBLE_EQ(copied.median(), 7.0);
+  s.finalize();
+  sample_set moved = std::move(s);
+  EXPECT_DOUBLE_EQ(moved.median(), 7.0);
+  sample_set assigned;
+  assigned = copied;
+  EXPECT_DOUBLE_EQ(assigned.quantile(0.0), 2.0);
 }
 
 TEST(SampleSet, CdfSeriesSpansRange) {

@@ -7,6 +7,7 @@
 //   certquic_scan spoof     [--domains N] [--seed S] [--sessions N]
 //   certquic_scan outofcore [--domains N] [--seed S] [--sample N]
 //                           [--shards N] [--spill-dir DIR] [--no-compare]
+//   certquic_scan ttfb      [--domains N] [--seed S] [--sample N]
 //   certquic_scan domain <name> [--domains N] [--seed S] [--initial BYTES]
 //
 // Every engine-backed subcommand accepts --threads N (0 = default:
@@ -18,8 +19,9 @@
 // §4.3 telescope study; `outofcore` runs the same census through the
 // sharded spill → merge pipeline (its stdout is byte-identical to
 // `census` on the same population — the verify.sh gate diffs the two —
-// while shard/RSS details go to stderr); `domain` probes one service in
-// detail.
+// while shard/RSS details go to stderr); `ttfb` runs the time-domain
+// chain-profile x network-condition sweep and prints per-cell TTFB
+// medians; `domain` probes one service in detail.
 #include <unistd.h>
 
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "core/census.hpp"
 #include "core/compression_study.hpp"
 #include "core/outofcore_study.hpp"
+#include "core/ttfb_study.hpp"
 #include "engine/engine.hpp"
 #include "scan/qscanner.hpp"
 #include "scan/reach.hpp"
@@ -254,6 +257,26 @@ int run_spoof(const internet::model& m, const cli_options& opt) {
   return 0;
 }
 
+int run_ttfb(const internet::model& m, const cli_options& opt) {
+  core::ttfb_options topt;
+  topt.initial_size = opt.initial;
+  topt.max_services = opt.sample;
+  const auto study = core::run_ttfb_study(m, topt, opt.exec());
+  text_table table({"profile", "condition", "probed", "fetched",
+                    "med [ms]", "p95 [ms]"});
+  for (const auto& cell : study.cells) {
+    table.add_row(
+        {x509::to_string(cell.profile), cell.condition.name,
+         std::to_string(cell.probed), std::to_string(cell.completed()),
+         cell.ttfb_ms.empty() ? std::string("-")
+                              : fixed(cell.ttfb_ms.median(), 1),
+         cell.ttfb_ms.empty() ? std::string("-")
+                              : fixed(cell.ttfb_ms.quantile(0.95), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 int run_domain(const internet::model& m, const cli_options& opt) {
   for (const auto& rec : m.records()) {
     if (rec.domain != opt.domain) {
@@ -300,7 +323,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: certquic_scan census|sweep|compress|spoof|"
-                 "outofcore|domain <name> [--domains N] [--seed S] "
+                 "outofcore|ttfb|domain <name> [--domains N] [--seed S] "
                  "[--initial B] [--sample N] [--sessions N] [--shards N] "
                  "[--spill-dir DIR] [--no-compare] [--threads N]\n");
     return 2;
@@ -321,6 +344,9 @@ int main(int argc, char** argv) {
   }
   if (opt.command == "outofcore") {
     return run_outofcore(model, opt);
+  }
+  if (opt.command == "ttfb") {
+    return run_ttfb(model, opt);
   }
   if (opt.command == "domain") {
     return run_domain(model, opt);

@@ -164,10 +164,17 @@ status=0
 for bin in fig02_cert_field_sizes fig04_amplification_cdf \
            fig06_chain_size_cdf tab01_browser_profiles \
            tab02_crypto_algorithms fig09_spoofed_amplification \
-           fig_pqc_chain_impact fig_outofcore_rss; do
-  env $smoke_env CERTQUIC_THREADS=1 "./bench/$bin" \
+           fig_pqc_chain_impact fig_outofcore_rss \
+           fig_ttfb_cdf fig_ttfb_pqc; do
+  # fig_ttfb_pqc additionally drops the BENCH_ttfb.json perf record
+  # (median/p95 TTFB per cell + wall time) next to the build tree.
+  bench_json=""
+  if [ "$bin" = "fig_ttfb_pqc" ]; then
+    bench_json="CERTQUIC_BENCH_JSON=$PWD/BENCH_ttfb.json"
+  fi
+  env $smoke_env $bench_json CERTQUIC_THREADS=1 "./bench/$bin" \
     > "$out_dir/$bin.serial.txt"
-  env $smoke_env CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
+  env $smoke_env $bench_json CERTQUIC_THREADS="$engine_threads" "./bench/$bin" \
     > "$out_dir/$bin.parallel.txt"
   if cmp -s "$out_dir/$bin.serial.txt" "$out_dir/$bin.parallel.txt"; then
     echo "OK   $bin: serial == $engine_threads-thread output"
