@@ -234,6 +234,11 @@ oid decode_oid(const tlv& t) {
     std::uint32_t v = 0;
     while (i < t.content.size()) {
       const std::uint8_t b = t.content[i++];
+      if (v >> 25 != 0) {
+        // Another 7-bit group would push past 32 bits; the arc would
+        // silently wrap instead of round-tripping.
+        throw codec_error("OID arc exceeds 32 bits");
+      }
       v = (v << 7) | (b & 0x7f);
       if (!(b & 0x80)) {
         return v;

@@ -215,7 +215,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 4,
                 .max_sans = 6,
                 .sct_count = 3,
-                .url_host = "cloudflaressl.com"}});
+                .url_host = "cloudflaressl.com"},
+       .parents_pqc = {}});
   // Fig. 7a rows 2 and 3: both serve R3 plus the DST-cross-signed ISRG
   // Root X1 (§4.2 calls this out as superfluous); they differ in the
   // leaf key algorithm.
@@ -229,7 +230,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 2,
                 .sct_count = 2,
                 .lean_extensions = true,
-                .url_host = "r3.o.lencr.org"}});
+                .url_host = "r3.o.lencr.org"},
+       .parents_pqc = {}});
   add({.id = "le-r3-x1cross-ec",
        .display = "Let's Encrypt R3 + ISRG Root X1 (DST cross), ECDSA leaves",
        .parents = {le_r3, isrg_x1_cross},
@@ -240,7 +242,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 3,
                 .sct_count = 2,
                 .lean_extensions = true,
-                .url_host = "r3.o.lencr.org"}});
+                .url_host = "r3.o.lencr.org"},
+       .parents_pqc = {}});
   add({.id = "le-r3",
        .display = "Let's Encrypt R3",
        .parents = {le_r3},
@@ -252,7 +255,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 3,
                 .sct_count = 2,
                 .lean_extensions = true,
-                .url_host = "r3.o.lencr.org"}});
+                .url_host = "r3.o.lencr.org"},
+       .parents_pqc = {}});
   add({.id = "le-e1-x2",
        .display = "Let's Encrypt E1 + ISRG Root X2",
        .parents = {le_e1, isrg_x2_self},
@@ -263,7 +267,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 3,
                 .sct_count = 2,
                 .lean_extensions = true,
-                .url_host = "e1.o.lencr.org"}});
+                .url_host = "e1.o.lencr.org"},
+       .parents_pqc = {}});
   add({.id = "gts-1c3",
        .display = "GTS CA 1C3 + GTS Root R1",
        .parents = {gts_1c3, gts_r1_cross},
@@ -273,7 +278,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 6,
                 .sct_count = 2,
-                .url_host = "pki.goog"}});
+                .url_host = "pki.goog"},
+       .parents_pqc = {}});
   add({.id = "le-r3-x1self",
        .display = "Let's Encrypt R3 + ISRG Root X1 (self-signed)",
        .parents = {le_r3, isrg_x1_self},
@@ -285,7 +291,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 4,
                 .sct_count = 2,
                 .lean_extensions = true,
-                .url_host = "r3.o.lencr.org"}});
+                .url_host = "r3.o.lencr.org"},
+       .parents_pqc = {}});
   add({.id = "gts-1d4",
        .display = "GTS CA 1D4 + GTS Root R1",
        .parents = {gts_1d4, gts_r1_cross},
@@ -295,7 +302,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 4,
                 .sct_count = 2,
-                .url_host = "pki.goog"}});
+                .url_host = "pki.goog"},
+       .parents_pqc = {}});
   add({.id = "sectigo",
        .display = "Sectigo RSA DV + USERTrust RSA CA",
        .parents = {sectigo_dv, usertrust_root},
@@ -305,7 +313,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 3,
                 .sct_count = 2,
-                .url_host = "sectigo.com"}});
+                .url_host = "sectigo.com"},
+       .parents_pqc = {}});
   add({.id = "cpanel",
        .display = "cPanel, Inc. CA + COMODO RSA CA",
        .parents = {cpanel_ca, comodo_root},
@@ -315,7 +324,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 2,
                 .max_sans = 8,
                 .sct_count = 3,
-                .url_host = "comodoca.com"}});
+                .url_host = "comodoca.com"},
+       .parents_pqc = {}});
   add({.id = "globalsign",
        .display = "GlobalSign Atlas R3 DV TLS CA H2 2021",
        .parents = {globalsign_atlas},
@@ -325,7 +335,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 3,
                 .sct_count = 2,
-                .url_host = "globalsign.com"}});
+                .url_host = "globalsign.com"},
+       .parents_pqc = {}});
   // HTTPS-only rows absent from the QUIC top-10.
   add({.id = "digicert",
        .display = "DigiCert TLS RSA SHA256 2020 CA1 + DigiCert Global Root",
@@ -337,7 +348,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .max_sans = 6,
                 .sct_count = 3,
                 .organization_validated = true,
-                .url_host = "digicert.com"}});
+                .url_host = "digicert.com"},
+       .parents_pqc = {}});
   add({.id = "amazon",
        .display = "Amazon RSA 2048 M01 + Amazon Root CA 1",
        .parents = {amazon_m01, amazon_root},
@@ -347,7 +359,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 5,
                 .sct_count = 2,
-                .url_host = "amazontrust.com"}});
+                .url_host = "amazontrust.com"},
+       .parents_pqc = {}});
   add({.id = "comodo",
        .display = "cPanel, Inc. CA + COMODO RSA CA (legacy)",
        .parents = {cpanel_ca, comodo_root},
@@ -357,7 +370,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 6,
                 .sct_count = 3,
-                .url_host = "comodoca.com"}});
+                .url_host = "comodoca.com"},
+       .parents_pqc = {}});
   add({.id = "godaddy",
        .display = "GoDaddy Secure CA - G2",
        .parents = {godaddy_g2},
@@ -367,7 +381,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 4,
                 .sct_count = 2,
-                .url_host = "godaddy.com"}});
+                .url_host = "godaddy.com"},
+       .parents_pqc = {}});
   add({.id = "comodo-with-root",
        .display = "Sectigo RSA DV + USERTrust + COMODO root (superfluous anchor)",
        .parents = {sectigo_dv, usertrust_root, comodo_root},
@@ -377,7 +392,8 @@ ecosystem ecosystem::make(std::uint64_t seed) {
                 .min_sans = 1,
                 .max_sans = 4,
                 .sct_count = 3,
-                .url_host = "sectigo.com"}});
+                .url_host = "sectigo.com"},
+       .parents_pqc = {}});
 
   // ML-DSA twins of every distinct named parent, for pqc_full chains.
   // Drawn from a dedicated stream so the classical parents above — and

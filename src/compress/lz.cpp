@@ -46,7 +46,11 @@ std::uint64_t read_varint(bytes_view data, std::size_t& pos) {
       throw codec_error("varint truncated");
     }
     const std::uint8_t b = data[pos++];
-    if (shift >= 63 && (b & 0x7e) != 0) {
+    // shift caps at 63 (ten groups): the tenth group may only carry
+    // the top bit, and nothing may continue past it — otherwise a run
+    // of continuation bytes would push the shift count past 63, which
+    // is undefined for a 64-bit shift.
+    if (shift >= 63 && (b & 0xfe) != 0) {
       throw codec_error("varint overflow");
     }
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;

@@ -16,12 +16,14 @@ class census_aggregator final : public engine::observation_sink {
 
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
+    lifecycle_.begin();
     if (opt_.collect_payload_details) {
       out_.first_burst_amplification.reserve(sampled * plan.variants.size());
     }
   }
 
   void on_record(const engine::probe_record& pr) override {
+    lifecycle_.record();
     const scan::probe_result& probe = pr.result;
     ++out_.probed;
     const auto cls_idx = static_cast<std::size_t>(probe.cls);
@@ -62,6 +64,7 @@ class census_aggregator final : public engine::observation_sink {
   }
 
   void on_end() override {
+    lifecycle_.end();
     // Eager sort while still single-threaded (the sample_set contract):
     // results handed out of the run are then safe for concurrent
     // quantile reads without ever contending on the lazy-sort lock.
@@ -73,6 +76,7 @@ class census_aggregator final : public engine::observation_sink {
   const internet::model& model_;
   const census_options& opt_;
   census_result& out_;
+  engine::sink_lifecycle lifecycle_;
 };
 
 }  // namespace
@@ -111,6 +115,7 @@ class ack_sweep_aggregator final : public engine::observation_sink {
 
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
+    lifecycle_.begin();
     out_.slices.resize(plan.variants.size());
     for (std::size_t v = 0; v < plan.variants.size(); ++v) {
       out_.slices[v].policy = plan.variants[v].ack;
@@ -119,6 +124,7 @@ class ack_sweep_aggregator final : public engine::observation_sink {
   }
 
   void on_record(const engine::probe_record& pr) override {
+    lifecycle_.record();
     ack_census_slice& slice = out_.slices[pr.variant_index];
     ++slice.probed;
     ++slice.counts[static_cast<std::size_t>(pr.result.cls)];
@@ -130,6 +136,7 @@ class ack_sweep_aggregator final : public engine::observation_sink {
   }
 
   void on_end() override {
+    lifecycle_.end();
     for (ack_census_slice& slice : out_.slices) {
       slice.handshake_ms.finalize();
     }
@@ -137,6 +144,7 @@ class ack_sweep_aggregator final : public engine::observation_sink {
 
  private:
   ack_sweep_result& out_;
+  engine::sink_lifecycle lifecycle_;
 };
 
 }  // namespace

@@ -21,10 +21,12 @@ class wild_aggregator final : public engine::observation_sink {
 
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
+    lifecycle_.begin();
     out_.wild_savings.reserve(sampled * plan.variants.size());
   }
 
   void on_record(const engine::probe_record& pr) override {
+    lifecycle_.record();
     ++probed_;
     brotli_support_ += pr.record.supports_brotli ? 1 : 0;
     all_support_ += pr.record.supports_all_algorithms ? 1 : 0;
@@ -36,6 +38,8 @@ class wild_aggregator final : public engine::observation_sink {
                     static_cast<double>(obs.certificate_uncompressed_size));
     }
   }
+
+  void on_end() override { lifecycle_.end(); }
 
   void finish() const {
     if (probed_ == 0) {
@@ -52,6 +56,7 @@ class wild_aggregator final : public engine::observation_sink {
   std::size_t probed_ = 0;
   std::size_t brotli_support_ = 0;
   std::size_t all_support_ = 0;
+  engine::sink_lifecycle lifecycle_;
 };
 
 }  // namespace

@@ -53,14 +53,18 @@ class aggregate_sink final : public engine::observation_sink {
 
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
+    lifecycle_.begin();
     agg_.first_burst_amplification.reserve(sampled * plan.variants.size());
   }
   void on_record(const engine::probe_record& rec) override {
+    lifecycle_.record();
     accumulate(agg_, rec.service_index, rec.variant_index, rec.result);
   }
+  void on_end() override { lifecycle_.end(); }
 
  private:
   outofcore_aggregate& agg_;
+  engine::sink_lifecycle lifecycle_;
 };
 
 /// What the materializing baseline keeps per probe: the full result —

@@ -20,12 +20,14 @@ class pqc_census_aggregator final : public engine::observation_sink {
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
     (void)plan;
+    lifecycle_.begin();
     for (pqc_profile_slice& slice : slices_) {
       slice.amplification.reserve(sampled);
     }
   }
 
   void on_record(const engine::probe_record& pr) override {
+    lifecycle_.record();
     pqc_profile_slice& slice = slices_[pr.variant_index];
     ++slice.probed;
     ++slice.counts[static_cast<std::size_t>(pr.result.cls)];
@@ -35,6 +37,7 @@ class pqc_census_aggregator final : public engine::observation_sink {
   }
 
   void on_end() override {
+    lifecycle_.end();
     for (pqc_profile_slice& slice : slices_) {
       slice.amplification.finalize();
     }
@@ -42,6 +45,7 @@ class pqc_census_aggregator final : public engine::observation_sink {
 
  private:
   std::vector<pqc_profile_slice>& slices_;
+  engine::sink_lifecycle lifecycle_;
 };
 
 }  // namespace

@@ -16,12 +16,14 @@ class ttfb_aggregator final : public engine::observation_sink {
   void on_begin(const engine::probe_plan& plan,
                 std::size_t sampled) override {
     (void)plan;
+    lifecycle_.begin();
     for (ttfb_cell& cell : cells_) {
       cell.ttfb_ms.reserve(sampled);
     }
   }
 
   void on_record(const engine::probe_record& pr) override {
+    lifecycle_.record();
     ttfb_cell& cell = cells_[pr.variant_index];
     ++cell.probed;
     ++cell.counts[static_cast<std::size_t>(pr.result.cls)];
@@ -31,6 +33,7 @@ class ttfb_aggregator final : public engine::observation_sink {
   }
 
   void on_end() override {
+    lifecycle_.end();
     for (ttfb_cell& cell : cells_) {
       cell.ttfb_ms.finalize();
     }
@@ -38,6 +41,7 @@ class ttfb_aggregator final : public engine::observation_sink {
 
  private:
   std::vector<ttfb_cell>& cells_;
+  engine::sink_lifecycle lifecycle_;
 };
 
 }  // namespace

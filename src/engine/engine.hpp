@@ -29,6 +29,7 @@
 #include "engine/probe_plan.hpp"
 #include "engine/sink.hpp"
 #include "internet/model.hpp"
+#include "util/assert.hpp"
 
 namespace certquic::engine {
 
@@ -140,6 +141,13 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
     pool.emplace_back(worker);
   }
 
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  // Sequencer invariant: the ordered consumer must see every index
+  // exactly once, in ascending order — this is what makes parallel
+  // aggregation bit-identical to serial. Checked per consume call in
+  // debug/sanitizer builds.
+  std::size_t consume_cursor = 0;
+#endif
   try {
     std::unique_lock<std::mutex> lock{mu};
     for (std::size_t c = 0; c < chunks; ++c) {
@@ -151,6 +159,12 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
       lock.unlock();
       const std::size_t lo = c * chunk;
       for (std::size_t j = 0; j < results->size(); ++j) {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+        CERTQUIC_ASSERT(lo + j == consume_cursor,
+                        "parallel_ordered: consumer left ascending index "
+                        "order — the sequencer is broken");
+        ++consume_cursor;
+#endif
         consume(lo + j, std::move((*results)[j]));
       }
       lock.lock();

@@ -39,7 +39,7 @@ enum class service_filter : std::uint8_t {
 struct probe_variant {
   std::size_t initial_size = 1362;
   /// Algorithms offered via compress_certificate (empty = quicreach).
-  std::vector<compress::algorithm> offer_compression;
+  std::vector<compress::algorithm> offer_compression{};
   /// Client acknowledgement behaviour axis ("ReACKed QUICer"): the
   /// default delayed-ack client, the instant-ACK variant, or the silent
   /// adversary that never acknowledges anything.
@@ -52,7 +52,7 @@ struct probe_variant {
   /// every existing plan, and thus every golden, byte-identical.
   x509::pq_profile chain_profile = x509::pq_profile::classical;
   /// Observation deadline override; unset keeps the client default.
-  std::optional<net::duration> timeout;
+  std::optional<net::duration> timeout{};
   /// Network regime the probe's two paths run under (the time-domain
   /// axis). The default condition is the historical simulator setup,
   /// so plans that never touch it stay golden-identical.

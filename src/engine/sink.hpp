@@ -18,8 +18,50 @@
 #include "engine/probe_plan.hpp"
 #include "internet/model.hpp"
 #include "scan/reach.hpp"
+#include "util/assert.hpp"
 
 namespace certquic::engine {
+
+/// Debug-only lifecycle state machine: embed one in a sink and call
+/// begin()/record()/end() from on_begin/on_record/on_end to assert the
+/// contract order (on_begin → on_record* → on_end) in
+/// CERTQUIC_ENABLE_ASSERTS builds. A fresh on_begin after on_end is
+/// allowed — that is a legal reuse for a new run. Compiles to an empty
+/// class with no-op members in release builds, so embedding it is free.
+///
+/// spill_sink deliberately does NOT use this guard: a lifecycle
+/// violation there corrupts an on-disk artifact, so it throws
+/// config_error in every build mode instead (see engine/spill.cpp).
+class sink_lifecycle {
+ public:
+  void begin() noexcept {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+    CERTQUIC_ASSERT(!begun_ || ended_,
+                    "sink lifecycle: on_begin called twice in one run");
+    begun_ = true;
+    ended_ = false;
+#endif
+  }
+  void record() noexcept {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+    CERTQUIC_ASSERT(begun_, "sink lifecycle: on_record before on_begin");
+    CERTQUIC_ASSERT(!ended_, "sink lifecycle: on_record after on_end");
+#endif
+  }
+  void end() noexcept {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+    CERTQUIC_ASSERT(begun_, "sink lifecycle: on_end before on_begin");
+    CERTQUIC_ASSERT(!ended_, "sink lifecycle: on_end called twice");
+    ended_ = true;
+#endif
+  }
+
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+ private:
+  bool begun_ = false;
+  bool ended_ = false;
+#endif
+};
 
 /// One delivered probe. References stay valid only for the duration of
 /// the on_record() call (the record and variant live in the model and
@@ -104,16 +146,19 @@ class tee_sink final : public observation_sink {
       : sinks_(std::move(sinks)) {}
 
   void on_begin(const probe_plan& plan, std::size_t sampled) override {
+    lifecycle_.begin();
     for (observation_sink* sink : sinks_) {
       sink->on_begin(plan, sampled);
     }
   }
   void on_record(const probe_record& rec) override {
+    lifecycle_.record();
     for (observation_sink* sink : sinks_) {
       sink->on_record(rec);
     }
   }
   void on_end() override {
+    lifecycle_.end();
     for (observation_sink* sink : sinks_) {
       sink->on_end();
     }
@@ -121,6 +166,7 @@ class tee_sink final : public observation_sink {
 
  private:
   std::vector<observation_sink*> sinks_;
+  sink_lifecycle lifecycle_;
 };
 
 /// Forwards only records matching a predicate; lifecycle calls always
@@ -133,18 +179,24 @@ class filter_sink final : public observation_sink {
       : next_(next), pred_(std::move(pred)) {}
 
   void on_begin(const probe_plan& plan, std::size_t sampled) override {
+    lifecycle_.begin();
     next_.on_begin(plan, sampled);
   }
   void on_record(const probe_record& rec) override {
+    lifecycle_.record();
     if (pred_(rec)) {
       next_.on_record(rec);
     }
   }
-  void on_end() override { next_.on_end(); }
+  void on_end() override {
+    lifecycle_.end();
+    next_.on_end();
+  }
 
  private:
   observation_sink& next_;
   Pred pred_;
+  sink_lifecycle lifecycle_;
 };
 
 template <typename Pred>

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "util/assert.hpp"
 #include "util/errors.hpp"
 #include "util/hex.hpp"
 
@@ -307,9 +308,26 @@ std::size_t spill_merge::replay(const std::vector<std::string>& paths,
   // walks the variant axis once and drains every cursor's run of that
   // variant in shard order. Each file is read exactly once.
   std::size_t total = 0;
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  // Merge invariant: the emitted stream's (variant, shard) key must
+  // never move backwards — that is the plan order the downstream
+  // aggregate's bit-identity rests on.
+  std::uint64_t last_key = 0;
+  bool emitted_any = false;
+#endif
   for (std::uint32_t v = 0; v < plan_.variants.size(); ++v) {
-    for (auto& cur : cursors) {
+    for (std::size_t shard = 0; shard < cursors.size(); ++shard) {
+      auto& cur = cursors[shard];
       while (cur->peek() != nullptr && cur->peek()->variant_index == v) {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(v) << 32) | shard;
+        CERTQUIC_ASSERT(!emitted_any || key >= last_key,
+                        "spill_merge: merged stream left (variant, shard) "
+                        "plan order");
+        last_key = key;
+        emitted_any = true;
+#endif
         emit(model_, plan_, *cur->peek(), sink);
         cur->advance();
         ++total;

@@ -36,17 +36,36 @@ sample_set& sample_set::operator=(sample_set&& other) noexcept {
   return *this;
 }
 
+namespace {
+
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+constexpr const char* kMutateDuringRead =
+    "sample_set: mutation while a concurrent query is in flight — "
+    "finalize() the set and stop mutating before sharing it across "
+    "threads";
+#endif
+
+}  // namespace
+
 void sample_set::add(double x) {
+  CERTQUIC_ASSERT(readers_.load(std::memory_order_acquire) == 0,
+                  kMutateDuringRead);
   samples_.push_back(x);
   sorted_.store(false, std::memory_order_relaxed);
 }
 
 void sample_set::add_all(const std::vector<double>& xs) {
+  CERTQUIC_ASSERT(readers_.load(std::memory_order_acquire) == 0,
+                  kMutateDuringRead);
   samples_.insert(samples_.end(), xs.begin(), xs.end());
   sorted_.store(false, std::memory_order_relaxed);
 }
 
-void sample_set::reserve(std::size_t n) { samples_.reserve(n); }
+void sample_set::reserve(std::size_t n) {
+  CERTQUIC_ASSERT(readers_.load(std::memory_order_acquire) == 0,
+                  kMutateDuringRead);
+  samples_.reserve(n);
+}
 
 void sample_set::finalize() { ensure_sorted(); }
 
@@ -64,6 +83,9 @@ void sample_set::ensure_sorted() const {
 }
 
 double sample_set::quantile(double q) const {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  const read_guard guard{readers_};
+#endif
   if (samples_.empty()) {
     throw std::logic_error("quantile of empty sample_set");
   }
@@ -77,6 +99,9 @@ double sample_set::quantile(double q) const {
 }
 
 double sample_set::mean() const {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  const read_guard guard{readers_};
+#endif
   if (samples_.empty()) {
     return 0.0;
   }
@@ -85,6 +110,9 @@ double sample_set::mean() const {
 }
 
 double sample_set::fraction_at_or_below(double x) const {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  const read_guard guard{readers_};
+#endif
   if (samples_.empty()) {
     return 0.0;
   }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace certquic::stats {
 
 /// One (x, F(x)) point of an empirical CDF.
@@ -81,6 +83,29 @@ class sample_set {
 
  private:
   void ensure_sorted() const;
+
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+  /// Debug invariant check: queries bump this counter for their
+  /// duration, and mutation asserts it is zero — catching the
+  /// out-of-contract shape (an aggregator mutating a set it already
+  /// published to concurrent readers, i.e. a missing finalize-then-
+  /// stop-mutating handoff) with a named failure instead of a silent
+  /// race.
+  class read_guard {
+   public:
+    explicit read_guard(std::atomic<int>& readers) noexcept
+        : readers_(readers) {
+      readers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~read_guard() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+    read_guard(const read_guard&) = delete;
+    read_guard& operator=(const read_guard&) = delete;
+
+   private:
+    std::atomic<int>& readers_;
+  };
+  mutable std::atomic<int> readers_{0};
+#endif
 
   mutable std::vector<double> samples_;
   /// Guards the lazy sort only; queries after the acquire-load of

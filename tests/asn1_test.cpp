@@ -136,6 +136,23 @@ TEST(DerDecode, RejectsTruncatedContent) {
   EXPECT_THROW((void)read_tlv(r), codec_error);
 }
 
+TEST(DerDecode, OidArcWidthLimit) {
+  // An arc of 2^32 (five base-128 groups, first carrying bit 32) used
+  // to wrap silently to 0 in the 32-bit accumulator; it must throw.
+  const bytes data = {0x06, 0x06, 0x2a, 0x90, 0x80, 0x80, 0x80, 0x00};
+  buffer_reader r{data};
+  const tlv t = read_tlv(r);
+  EXPECT_THROW((void)decode_oid(t), codec_error);
+}
+
+TEST(DerDecode, OidMaxArcRoundTrips) {
+  // 2^32 - 1 is the widest representable arc and must still decode.
+  const oid arcs{2, 47, 0xffff'ffffu};
+  const bytes enc = encode_oid(arcs);
+  buffer_reader r{enc};
+  EXPECT_EQ(decode_oid(read_tlv(r)), arcs);
+}
+
 TEST(DerDecode, IntegerWidthLimit) {
   bytes data = {0x02, 0x09, 1, 2, 3, 4, 5, 6, 7, 8, 9};
   buffer_reader r{data};

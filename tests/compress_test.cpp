@@ -30,6 +30,24 @@ TEST(Varint, ThrowsOnTruncation) {
   EXPECT_THROW((void)read_varint(data, pos), codec_error);
 }
 
+TEST(Varint, ThrowsOnOverlongContinuationRun) {
+  // Ten continuation groups exhaust a 64-bit value; an eleventh used
+  // to push the shift count past 63 — undefined behaviour caught by
+  // UBSan — instead of failing. Must throw, not keep shifting.
+  const bytes data = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                      0x80, 0x80, 0x80, 0x80, 0x01};
+  std::size_t pos = 0;
+  EXPECT_THROW((void)read_varint(data, pos), codec_error);
+}
+
+TEST(Varint, ThrowsWhenTopGroupOverflows64Bits) {
+  // The tenth group may only carry bit 63; anything wider overflows.
+  const bytes data = {0xff, 0xff, 0xff, 0xff, 0xff,
+                      0xff, 0xff, 0xff, 0xff, 0x02};
+  std::size_t pos = 0;
+  EXPECT_THROW((void)read_varint(data, pos), codec_error);
+}
+
 TEST(Lz, EmptyInput) {
   const bytes compressed = lz_compress({}, {});
   EXPECT_EQ(lz_decompress(compressed, {}), bytes{});

@@ -281,6 +281,40 @@ TEST(ProbePlan, NoAckVariantNeverAcknowledges) {
   EXPECT_GT(probes, 0u);
 }
 
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+// CERTQUIC_ASSERT is compiled in (Debug and sanitized builds): the
+// sink lifecycle contract must abort loudly on misuse, not corrupt
+// aggregates silently. Compiled out with the asserts themselves.
+TEST(SinkLifecycleDeath, RecordBeforeBeginAborts) {
+  engine::sink_lifecycle lc;
+  EXPECT_DEATH_IF_SUPPORTED(lc.record(), "on_record before on_begin");
+}
+
+TEST(SinkLifecycleDeath, DoubleBeginAborts) {
+  engine::sink_lifecycle lc;
+  lc.begin();
+  EXPECT_DEATH_IF_SUPPORTED(lc.begin(), "on_begin called twice");
+}
+
+TEST(SinkLifecycleDeath, RecordAfterEndAborts) {
+  engine::sink_lifecycle lc;
+  lc.begin();
+  lc.record();
+  lc.end();
+  EXPECT_DEATH_IF_SUPPORTED(lc.record(), "after on_end");
+}
+
+TEST(SinkLifecycleDeath, LegalReuseDoesNotAbort) {
+  engine::sink_lifecycle lc;
+  lc.begin();
+  lc.record();
+  lc.end();
+  lc.begin();  // re-begin after end is the documented reuse path
+  lc.record();
+  lc.end();
+}
+#endif  // CERTQUIC_ENABLE_ASSERTS
+
 TEST(ProbePlan, MultiVariantPlansEnumerateVariantMajor) {
   const auto& m = shared_model();
   engine::probe_plan plan;

@@ -1,0 +1,14 @@
+// Lint fixture: float accumulation in core/ — one bare violation and
+// one carrying an inline waiver that must suppress the finding.
+namespace demo {
+
+double tally(double x) {
+  double acc = 0.0;
+  acc += x;
+  double waived = 0.0;
+  // certquic-lint: allow float-accum — fixture: inline waiver exercised
+  waived += x;
+  return acc + waived;
+}
+
+}  // namespace demo

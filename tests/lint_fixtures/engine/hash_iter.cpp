@@ -1,0 +1,18 @@
+// Lint fixture: iteration over an unordered container inside engine/
+// — must be flagged as unordered-iter (hash order would feed an
+// aggregate nondeterministically). NOT compiled; scanned by lint_test.
+#include <unordered_map>
+
+namespace demo {
+
+int aggregate() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  for (const auto& kv : counts) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace demo

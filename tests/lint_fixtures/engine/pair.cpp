@@ -1,0 +1,16 @@
+// Lint fixture: iterates the unordered member declared in pair.hpp —
+// the finding must land here even though the declaration is in the
+// header (merged per-basename declaration unit).
+#include "pair.hpp"
+
+namespace demo {
+
+int agg::total() const {
+  int sum = 0;
+  for (const auto& kv : by_id) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Lint fixture: header declaring an unordered member that the
+// companion .cpp iterates — exercises the merged header/source
+// declaration unit (the cdf.hpp/cdf.cpp situation).
+#pragma once
+
+#include <unordered_map>
+
+namespace demo {
+
+struct agg {
+  std::unordered_map<int, int> by_id;
+  int total() const;
+};
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Lint fixture: libc time() call — flagged nondet-source, but waived
+// by the fixture waiver file (exercises file-level waivers).
+#include <ctime>
+
+namespace demo {
+
+long stamp() {
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace demo

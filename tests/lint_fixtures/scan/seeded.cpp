@@ -1,0 +1,12 @@
+// Lint fixture: ad-hoc rng construction outside util/rng — must be
+// flagged raw-rng regardless of directory.
+#include "util/rng.hpp"
+
+namespace demo {
+
+unsigned long long draw() {
+  certquic::rng r{42};
+  return r.next_u64();
+}
+
+}  // namespace demo

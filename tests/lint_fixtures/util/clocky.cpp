@@ -1,0 +1,11 @@
+// Lint fixture: wall-clock use — nondet-source applies everywhere
+// under src/, including util/.
+#include <chrono>
+
+namespace demo {
+
+long long now_ms() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace demo

@@ -1,0 +1,80 @@
+// certquic_lint — determinism lint over src/ (see lint_core.hpp for
+// the rule set and waiver semantics).
+//
+// Usage:
+//   certquic_lint --root <srcdir> [--waivers <file>] [files...]
+//
+// With no file arguments, every .hpp/.cpp under --root is scanned.
+// Exit status: 0 clean, 1 findings or stale waivers, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root <srcdir> [--waivers <file>] [files...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string waiver_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--waivers") == 0 && i + 1 < argc) {
+      waiver_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (root.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    std::vector<certquic::lint::waiver> waivers;
+    if (!waiver_path.empty()) {
+      waivers = certquic::lint::load_waivers(waiver_path);
+    }
+    if (files.empty()) {
+      files = certquic::lint::collect_sources(root);
+    }
+    const certquic::lint::report rep =
+        certquic::lint::lint_files(files, root, waivers);
+    for (const certquic::lint::finding& f : rep.findings) {
+      std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+      std::printf("    %s\n", f.source_line.c_str());
+    }
+    for (const certquic::lint::waiver& w : rep.unused_waivers) {
+      std::printf(
+          "%s:%zu: [stale-waiver] waiver matches no finding — remove it "
+          "(%s|%s|%s)\n",
+          waiver_path.c_str(), w.file_line, w.rule.c_str(), w.path.c_str(),
+          w.substring.c_str());
+    }
+    if (rep.clean()) {
+      std::printf("certquic_lint: %zu files clean\n", files.size());
+      return 0;
+    }
+    std::printf("certquic_lint: %zu finding(s), %zu stale waiver(s)\n",
+                rep.findings.size(), rep.unused_waivers.size());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "certquic_lint: %s\n", e.what());
+    return 2;
+  }
+}

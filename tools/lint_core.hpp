@@ -1,0 +1,107 @@
+// certquic_lint — the repo's determinism lint.
+//
+// The engine's headline guarantee (parallel runs bit-identical to
+// serial, spill replays byte-identical) rests on source-level
+// discipline that no compiler flag checks: no wall-clock or global
+// entropy in probe paths, no iteration over unordered containers
+// feeding aggregates, no unreviewed floating-point accumulation in
+// golden-feeding paths, and no ad-hoc rng seeding outside the
+// per-probe hash(base_seed, domain, salt) scheme. This lint scans
+// src/ for those patterns; intentional uses are waived explicitly —
+// either inline ("// certquic-lint: allow <rule> — reason") or in the
+// checked-in waiver file tools/lint_waivers.txt.
+//
+// Rules (ids are what waivers name):
+//   nondet-source   calls to std::rand/srand, std::random_device,
+//                   chrono::{system,steady,high_resolution}_clock,
+//                   time()/clock_gettime()/gettimeofday() — anywhere
+//                   in src/. Simulated time is the only clock.
+//   unordered-iter  range-for / .begin() iteration over a variable
+//                   declared std::unordered_{map,set} in engine/ or
+//                   core/ (aggregators and sinks): hash-order would
+//                   feed aggregates in nondeterministic order.
+//   float-accum     `x += ...` where x was declared float/double (or
+//                   vector<double> element) in engine/, core/ or
+//                   stats/ — golden-feeding paths. Order-sensitive
+//                   float accumulation is only deterministic because
+//                   the stream is plan-ordered; each site must say so
+//                   via a waiver.
+//   raw-rng         direct construction of certquic::rng with an
+//                   explicit seed outside util/rng.{hpp,cpp}. Probe
+//                   paths must derive seeds via
+//                   engine::probe_seed(base_seed, domain, salt) or an
+//                   explicitly waived scheme.
+//
+// The scanner is line-based and deliberately simple: it prefers a
+// rare false positive (answered with a one-line waiver carrying a
+// reason) over parsing C++. Block comments and string literals are
+// not modelled; `//` comment tails are stripped before matching.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace certquic::lint {
+
+/// One lint hit: file (relative to the scan root), 1-based line, rule
+/// id, the offending source line and a human explanation.
+struct finding {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string source_line;
+};
+
+/// One parsed entry of the waiver file.
+struct waiver {
+  std::string rule;
+  std::string path;       // relative to the scan root
+  std::string substring;  // must appear in the flagged line; "*" = any
+  std::string reason;
+  std::size_t file_line = 0;  // line in the waiver file (diagnostics)
+};
+
+/// Result of a lint run: surviving findings plus any waivers that
+/// matched nothing (stale waivers fail the gate too — the file must
+/// describe reality).
+struct report {
+  std::vector<finding> findings;
+  std::vector<waiver> unused_waivers;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return findings.empty() && unused_waivers.empty();
+  }
+};
+
+/// Parses the pipe-delimited waiver file:
+///   rule|path|line-substring|reason
+/// '#' lines and blank lines are skipped. Throws config_error on a
+/// malformed line (wrong field count, unknown rule, empty reason).
+[[nodiscard]] std::vector<waiver> load_waivers(const std::string& path);
+
+/// Lints one in-memory file. `relative_path` decides which
+/// path-scoped rules apply (unordered-iter: engine/ and core/;
+/// float-accum: engine/, core/ and stats/) and is what waivers match
+/// against. Companion headers/sources share declaration context only
+/// when linted through lint_files (which merges per-basename units).
+[[nodiscard]] std::vector<finding> lint_source(
+    const std::string& relative_path, const std::string& content);
+
+/// Lints files on disk. Paths must live under `root`; findings carry
+/// root-relative paths. Waivers are applied (first matching waiver
+/// wins; every waiver must match at least one finding or it is
+/// reported unused). Throws config_error on unreadable files.
+[[nodiscard]] report lint_files(const std::vector<std::string>& files,
+                                const std::string& root,
+                                const std::vector<waiver>& waivers);
+
+/// All .hpp/.cpp files under root, sorted (deterministic scan order).
+[[nodiscard]] std::vector<std::string> collect_sources(
+    const std::string& root);
+
+/// True for rule ids the scanner implements (waiver validation).
+[[nodiscard]] bool known_rule(const std::string& rule);
+
+}  // namespace certquic::lint

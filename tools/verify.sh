@@ -2,11 +2,11 @@
 # Tier-1 verification gate — the exact command sequence from ROADMAP.md.
 # Exits nonzero on any configure, build or test failure.
 #
-# Usage: tools/verify.sh [--docs] [--outofcore] [--threads N]
+# Usage: tools/verify.sh [--docs] [--outofcore] [--threads N] [--sanitize]
 #                        [extra ctest args...]
-#   tools/verify.sh                 # full tier-1 + tier-2 run + out-of-core
-#                                   # smoke + docs check
-#   tools/verify.sh -L tier1        # tier-1 only (+ out-of-core smoke/docs)
+#   tools/verify.sh                 # full tier-1 + tier-2 run + determinism
+#                                   # lint + out-of-core smoke + docs check
+#   tools/verify.sh -L tier1        # tier-1 only (+ lint/out-of-core/docs)
 #   tools/verify.sh --docs          # docs/golden-coverage check only (no build)
 #   tools/verify.sh --outofcore     # build + out-of-core smoke only: a small
 #                                   # sharded spill-merge census diffed
@@ -17,8 +17,16 @@
 #                                   # diffs the golden bench outputs between
 #                                   # the serial and parallel engine runs,
 #                                   # then runs the docs check
+#   tools/verify.sh --sanitize      # sanitizer gate: tier-1 under
+#                                   # ASan+UBSan (build-asan/), then the
+#                                   # threaded suites under TSan
+#                                   # (build-tsan/). Both with -Werror and
+#                                   # CERTQUIC_ASSERT enabled; zero
+#                                   # suppressions outside
+#                                   # tools/lint_waivers.txt.
 # Flags combine in any order; the docs and out-of-core checks run in
-# every build mode.
+# every build mode. All builds configure with -DCERTQUIC_WERROR=ON —
+# the tree is warning-clean and stays that way.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -89,10 +97,23 @@ outofcore_check() {
   return "$ooc_status"
 }
 
+# Determinism lint over the module-registered sources, against the
+# checked-in waiver file. The `lint` target depends on (and builds)
+# the certquic_lint binary. Expects cwd = repo root.
+lint_check() {
+  if cmake --build build --target lint; then
+    echo "OK   lint: src/ clean against tools/lint_waivers.txt"
+  else
+    echo "FAIL lint: determinism lint found unwaived findings"
+    return 1
+  fi
+}
+
 # Flags may appear in any order; everything unrecognized is passed on
 # to ctest.
 docs_only=0
 outofcore_only=0
+sanitize=0
 engine_threads=""
 while [ $# -gt 0 ]; do
   case $1 in
@@ -102,6 +123,10 @@ while [ $# -gt 0 ]; do
       ;;
     --outofcore)
       outofcore_only=1
+      shift
+      ;;
+    --sanitize)
+      sanitize=1
       shift
       ;;
     --threads)
@@ -115,14 +140,38 @@ while [ $# -gt 0 ]; do
 done
 
 if [ "$docs_only" -eq 1 ] && [ "$outofcore_only" -eq 0 ] &&
-   [ -z "$engine_threads" ]; then
+   [ "$sanitize" -eq 0 ] && [ -z "$engine_threads" ]; then
   docs_check
   exit $?
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-cmake -B build -S .
+if [ "$sanitize" -eq 1 ]; then
+  # Sanitizer gate. Two builds (the ASan and TSan runtimes cannot link
+  # together): tier-1 under ASan+UBSan, then the suites that actually
+  # spin up worker threads under TSan. CERTQUIC_ASSERT is on in both
+  # (CERTQUIC_SANITIZE implies it), UBSan findings are hard failures
+  # (-fno-sanitize-recover), and there are no suppression files — the
+  # only sanctioned waiver mechanism in this repo is
+  # tools/lint_waivers.txt, which governs the lint, not the sanitizers.
+  echo "== ASan+UBSan: tier-1 =="
+  cmake -B build-asan -S . -DCERTQUIC_WERROR=ON \
+        -DCERTQUIC_SANITIZE="address;undefined"
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest --output-on-failure -j "$jobs" -L tier1 "$@")
+
+  echo "== TSan: threaded suites =="
+  cmake -B build-tsan -S . -DCERTQUIC_WERROR=ON -DCERTQUIC_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && ctest --output-on-failure -j "$jobs" "$@" -R \
+    '^(engine_test|backend_test|outofcore_test|ttfb_test|stats_test|net_test)$')
+
+  echo "OK   sanitize: ASan+UBSan tier-1 and TSan threaded suites clean"
+  exit 0
+fi
+
+cmake -B build -S . -DCERTQUIC_WERROR=ON
 cmake --build build -j "$jobs"
 cd build
 
@@ -140,8 +189,10 @@ if [ -z "$engine_threads" ]; then
   ctest --output-on-failure -j "$jobs" "$@"
   outofcore_check
   cd "$repo_root"
-  docs_check
-  exit $?
+  status=0
+  lint_check || status=1
+  docs_check || status=1
+  exit "$status"
 fi
 
 # --threads N: the engine-determinism gate. Tier-1 must pass with the
@@ -186,5 +237,6 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
 done
 outofcore_check || status=1
 cd "$repo_root"
+lint_check || status=1
 docs_check || status=1
 exit "$status"
