@@ -1,0 +1,82 @@
+// Per-epoch aggregation for the longitudinal census service
+// (src/service/): one epoch_aggregate is a pure fold over an epoch's
+// record stream in plan order — counts, byte totals, the amplification
+// and certificate-size distributions, and the order-sensitive stream
+// digest the epoch store checkpoints. epoch_delta is the epoch-over-
+// epoch movement report (handshake-class shifts, CDF movement) the
+// service and bench/fig_epoch_deltas print.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/census.hpp"
+#include "core/stream_digest.hpp"
+#include "engine/sink.hpp"
+#include "stats/cdf.hpp"
+
+namespace certquic::core {
+
+/// Everything one census epoch aggregates. Every field is a pure fold
+/// over the stream in plan order, so a re-merged (resumed) epoch is
+/// bit-identical to an uninterrupted one.
+struct epoch_aggregate {
+  std::size_t records = 0;
+  std::array<std::size_t, kClassCount> counts{};
+  unsigned long long bytes_sent_total = 0;
+  unsigned long long bytes_received_total = 0;
+  unsigned long long certificate_bytes = 0;
+  /// First-burst amplification of completed handshakes (the Fig. 4
+  /// axis; its CDF movement across epochs tracks the churn).
+  stats::sample_set first_burst_amplification;
+  /// Certificate message sizes (bytes) of records that delivered one —
+  /// the chain-size axis of Fig. 6.
+  stats::sample_set certificate_msg_sizes;
+  /// Order-sensitive digest (core/stream_digest.hpp) over the same
+  /// field set the out-of-core study folds; persisted per epoch by the
+  /// epoch store and cross-checked on resume.
+  std::uint64_t stream_digest = kStreamDigestSeed;
+
+  [[nodiscard]] std::size_t count(scan::handshake_class c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Streaming sink that folds a plan-ordered record stream into an
+/// epoch_aggregate; on_end finalizes the sample sets so the aggregate
+/// can be shared read-only.
+class epoch_aggregate_sink final : public engine::observation_sink {
+ public:
+  explicit epoch_aggregate_sink(epoch_aggregate& agg) : agg_(agg) {}
+
+  void on_begin(const engine::probe_plan& plan,
+                std::size_t sampled) override;
+  void on_record(const engine::probe_record& rec) override;
+  void on_end() override;
+
+ private:
+  epoch_aggregate& agg_;
+  engine::sink_lifecycle lifecycle_;
+};
+
+/// Epoch-over-epoch movement between two aggregates.
+struct epoch_delta {
+  std::array<long long, kClassCount> class_delta{};
+  long long record_delta = 0;
+  double amplification_median_delta = 0.0;
+  double amplification_p95_delta = 0.0;
+  double certificate_median_delta = 0.0;
+  double certificate_p95_delta = 0.0;
+
+  [[nodiscard]] long long class_shift(scan::handshake_class c) const {
+    return class_delta[static_cast<std::size_t>(c)];
+  }
+};
+
+/// The movement from `prev` to `cur`. Quantile deltas treat an empty
+/// sample set as 0 (an epoch with no completed handshakes reports the
+/// full drop through the class counts instead).
+[[nodiscard]] epoch_delta delta_between(const epoch_aggregate& prev,
+                                        const epoch_aggregate& cur);
+
+}  // namespace certquic::core

@@ -4,19 +4,13 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/stream_digest.hpp"
 #include "engine/spill.hpp"
 #include "util/errors.hpp"
 #include "util/rss_meter.hpp"
 
 namespace certquic::core {
 namespace {
-
-void mix(std::uint64_t& h, std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    h ^= (v >> shift) & 0xff;
-    h *= 0x0000'0100'0000'01b3ULL;
-  }
-}
 
 /// Folds one record into the aggregate. Shared by both paths, so any
 /// divergence between them is a pipeline bug, never an aggregator one.
@@ -32,17 +26,7 @@ void accumulate(outofcore_aggregate& agg, std::uint32_t service_index,
   if (o.handshake_complete) {
     agg.first_burst_amplification.add(o.first_burst_amplification());
   }
-  mix(agg.stream_digest, service_index);
-  mix(agg.stream_digest, variant_index);
-  mix(agg.stream_digest, static_cast<std::uint64_t>(result.cls));
-  mix(agg.stream_digest, o.handshake_complete ? 1 : 0);
-  mix(agg.stream_digest, o.bytes_sent_total);
-  mix(agg.stream_digest, o.bytes_received_total);
-  mix(agg.stream_digest, o.bytes_received_first_burst);
-  mix(agg.stream_digest, o.tls_bytes_received);
-  mix(agg.stream_digest, o.certificate_msg_size);
-  mix(agg.stream_digest, o.complete_time);
-  mix(agg.stream_digest, o.certificate_message.size());
+  digest_record(agg.stream_digest, service_index, variant_index, result);
 }
 
 /// Streaming aggregator for the spill → merge path: folds each merged

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/census.hpp"
+#include "core/stream_digest.hpp"
 #include "engine/engine.hpp"
 #include "internet/model.hpp"
 #include "scan/classify.hpp"
@@ -56,9 +57,10 @@ struct outofcore_aggregate {
   unsigned long long certificate_bytes = 0;
   stats::sample_set first_burst_amplification;
   /// Order-sensitive FNV-1a fold over every record's identifying and
-  /// observation fields: equal digests mean the two streams were
-  /// identical *including order*, not just equal in aggregate.
-  std::uint64_t stream_digest = 0xcbf2'9ce4'8422'2325ULL;
+  /// observation fields (core/stream_digest.hpp): equal digests mean
+  /// the two streams were identical *including order*, not just equal
+  /// in aggregate.
+  std::uint64_t stream_digest = kStreamDigestSeed;
 
   [[nodiscard]] std::size_t count(scan::handshake_class c) const {
     return counts[static_cast<std::size_t>(c)];

@@ -288,11 +288,69 @@ std::size_t spill_reader::replay(const std::string& path,
   return cur.records_read();
 }
 
+std::string to_string(spill_state s) {
+  switch (s) {
+    case spill_state::complete:
+      return "complete";
+    case spill_state::truncated:
+      return "truncated";
+    case spill_state::missing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+spill_probe_result spill_probe(const std::string& path) {
+  spill_probe_result out;
+  try {
+    spill_cursor cur{path};
+    out.variants = cur.variants();
+    out.sampled = cur.sampled();
+    out.state = spill_state::truncated;  // header parsed, rest pending
+    while (cur.peek() != nullptr) {
+      // Count the peeked record before advancing: advance() parses
+      // ahead and throws at the tear, which would otherwise drop the
+      // last cleanly-parsed record from the salvage count.
+      out.records = cur.records_read() + 1;
+      cur.advance();
+    }
+    out.state = spill_state::complete;
+  } catch (const config_error&) {
+    // The cursor throws config_error only for an unopenable file.
+    out.state = spill_state::missing;
+  } catch (const codec_error&) {
+    // Bad magic, mid-line cut, footerless tail, footer mismatch: all
+    // present as `truncated` — a crashed writer is indistinguishable
+    // from corruption, and both mean "discard and re-run the slice".
+    // Set explicitly: the cursor constructor itself throws when the
+    // tear falls inside the first record line (or the header).
+    out.state = spill_state::truncated;
+  }
+  return out;
+}
+
 std::size_t spill_merge::replay(const std::vector<std::string>& paths,
                                 observation_sink& sink) const {
   if (paths.empty()) {
     throw config_error("spill_merge: no spill files to merge");
   }
+  try {
+    return replay_merge(paths, sink);
+  } catch (const codec_error& e) {
+    // Augment the parse failure with each shard's integrity verdict so
+    // the operator (or the resume logic's logs) can see at a glance
+    // which slices survived a crash and which need re-running.
+    std::string msg = e.what();
+    msg += "; shard integrity:";
+    for (const std::string& path : paths) {
+      msg += " " + path + "=" + to_string(spill_probe(path).state);
+    }
+    throw codec_error(msg);
+  }
+}
+
+std::size_t spill_merge::replay_merge(const std::vector<std::string>& paths,
+                                      observation_sink& sink) const {
   std::vector<std::unique_ptr<spill_cursor>> cursors;
   cursors.reserve(paths.size());
   std::size_t total_sampled = 0;

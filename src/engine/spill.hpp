@@ -87,6 +87,41 @@ class spill_reader {
   const probe_plan& plan_;
 };
 
+/// Integrity verdict on one spill file, without needing the model or
+/// plan it was captured under.
+enum class spill_state : std::uint8_t {
+  complete,   // header, records and footer all validate
+  truncated,  // opens but fails integrity (cut mid-line, cut at a line
+              // boundary before the footer, or otherwise malformed —
+              // a crashed writer is indistinguishable from corruption)
+  missing,    // cannot be opened
+};
+
+[[nodiscard]] std::string to_string(spill_state s);
+
+/// What spill_probe learned about a file.
+struct spill_probe_result {
+  spill_state state = spill_state::missing;
+  /// Records parsed before the verdict; the full count for complete
+  /// files, the salvage horizon for truncated ones.
+  std::size_t records = 0;
+  std::size_t variants = 0;  // header variant count (0 when missing)
+  std::size_t sampled = 0;   // header sample count (0 when missing)
+
+  [[nodiscard]] bool complete() const noexcept {
+    return state == spill_state::complete;
+  }
+};
+
+/// Classifies a spill file on disk: `complete` iff every record parses
+/// and the record-count footer validates, `truncated` for anything
+/// that opens but fails those checks, `missing` when the file cannot
+/// be opened. This is the public face of the footer integrity check —
+/// resume logic (the longitudinal service's shard checkpoints) and
+/// spill_merge's error reporting both use it instead of probing via
+/// catch-codec_error.
+[[nodiscard]] spill_probe_result spill_probe(const std::string& path);
+
 /// Merges per-shard spill files of one plan back into a single
 /// plan-ordered stream. Each shard file holds a contiguous slice of the
 /// plan's sample, spilled in plan order (variant-major over the slice);
@@ -109,12 +144,16 @@ class spill_merge {
   /// so only *cross-variant* disorder inside a file is detectable and
   /// throws codec_error; the study-level stream digest is what
   /// catches everything else). Also throws codec_error when any file
-  /// is malformed or truncated, and config_error on an empty file
-  /// list or a plan-shape mismatch.
+  /// is malformed or truncated — with every shard's spill_probe
+  /// verdict appended to the message — and config_error on an empty
+  /// file list or a plan-shape mismatch.
   std::size_t replay(const std::vector<std::string>& paths,
                      observation_sink& sink) const;
 
  private:
+  std::size_t replay_merge(const std::vector<std::string>& paths,
+                           observation_sink& sink) const;
+
   const internet::model& model_;
   const probe_plan& plan_;
 };

@@ -105,10 +105,67 @@ struct config {
   std::size_t synth_threads = 0;
 };
 
+/// Per-epoch churn rates for the longitudinal service: between two
+/// census epochs, each domain independently rotates its keys, migrates
+/// its chain, gains/loses QUIC (the h3 ALPN), or enters/leaves the
+/// population. Defaults follow the paper's observed noise floors
+/// (§3.2's 3.3% certificate rotation) with small plausible rates for
+/// the structural moves.
+struct churn_config {
+  double key_rotation = 0.033;     // re-keyed cert, same chain profile
+  double chain_migration = 0.010;  // switched CA / chain profile
+  double alpn_gain = 0.006;        // https_only grew an h3 endpoint
+  double alpn_loss = 0.004;        // quic service dropped h3
+  double arrival = 0.003;          // unresolved/no-TLS domain came online
+  double departure = 0.003;        // resolved domain went dark
+};
+
+/// What one epoch's churn actually did to the population.
+struct churn_summary {
+  std::uint64_t epoch = 0;
+  std::size_t key_rotations = 0;
+  std::size_t chain_migrations = 0;
+  std::size_t alpn_gains = 0;
+  std::size_t alpn_losses = 0;
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return key_rotations + chain_migrations + alpn_gains + alpn_losses +
+           arrivals + departures;
+  }
+};
+
+/// The per-epoch seed every churn decision of epoch `epoch` derives
+/// from: a pure function of (base_seed, epoch), so any epoch's world is
+/// reproducible in isolation — no stream state carries across epochs.
+[[nodiscard]] std::uint64_t epoch_seed(std::uint64_t base_seed,
+                                       std::uint64_t epoch) noexcept;
+
 /// The generated population plus materialization helpers.
 class model {
  public:
   [[nodiscard]] static model generate(const config& cfg);
+
+  /// The population as of census epoch `epoch`: generate(cfg) evolved
+  /// through epochs 1..epoch under the churn rates. A pure function of
+  /// (cfg, churn, epoch) — computing other epochs first (or never)
+  /// cannot change the result, which is what makes a crash-resumed
+  /// epoch bit-identical to a fresh one. Epoch 0 is the base
+  /// population. When `last` is given it receives the summary of the
+  /// final epoch step (zeroed at epoch 0).
+  [[nodiscard]] static model at_epoch(const config& cfg,
+                                      const churn_config& churn,
+                                      std::uint64_t epoch,
+                                      churn_summary* last = nullptr);
+
+  /// Applies churn epochs 1..epoch in place and returns the last
+  /// step's summary. Must be called exactly once, on a freshly
+  /// generated base model — evolving an already-evolved model would
+  /// double-apply epochs. Prefer at_epoch unless the base model is
+  /// being reused. (Implementation: internet/churn.cpp.)
+  churn_summary evolve_to_epoch(const churn_config& churn,
+                                std::uint64_t epoch);
 
   [[nodiscard]] const std::vector<service_record>& records() const noexcept {
     return records_;

@@ -1,0 +1,96 @@
+// On-disk state of the longitudinal census service: one store directory
+// holds a MANIFEST plus one sub-directory of spill shards per epoch.
+//
+// Layout:
+//   <root>/MANIFEST
+//   <root>/epoch_0000/shard_0000.spill ... shard_<K-1>.spill
+//   <root>/epoch_0001/...
+//
+// MANIFEST format (line-delimited text, append-only after the header):
+//   certquic-epochs v1 seed <S> domains <D> sample <N> shards <K> initial <B>
+//   shard <epoch> <shard> <records>
+//   epoch <epoch> done <records> <digest-hex16>
+//   ...
+// The header pins the run configuration; opening a store under a
+// different configuration throws config_error (silently mixing two
+// populations in one store would corrupt every delta). `shard` lines
+// are appended (and flushed) after each slice completes; `epoch` lines
+// seal an epoch with its record count and order-sensitive stream
+// digest.
+//
+// Crash robustness: the manifest is an advisory checkpoint, not the
+// source of truth — shard completeness is always re-verified against
+// the spill footer (engine::spill_probe) on resume. A process killed
+// mid-append can leave one partial final line; the loader tolerates
+// (drops) exactly that, and throws codec_error on any other malformed
+// line.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace certquic::service {
+
+/// The configuration a store is pinned to.
+struct store_config {
+  std::string root;
+  std::uint64_t seed = 42;
+  std::size_t domains = 0;
+  std::size_t sample = 0;  // 0 = every QUIC service
+  std::size_t shards = 0;
+  std::size_t initial_size = 0;
+};
+
+/// A sealed epoch's checkpoint line.
+struct epoch_checkpoint {
+  std::size_t records = 0;
+  std::uint64_t digest = 0;
+};
+
+class epoch_store {
+ public:
+  /// Opens (or creates) the store at cfg.root. A fresh directory gets
+  /// a new manifest; an existing manifest is loaded and validated
+  /// against cfg (config_error on mismatch, codec_error on a manifest
+  /// that is malformed beyond the tolerated partial final line).
+  explicit epoch_store(store_config cfg);
+
+  [[nodiscard]] const store_config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& manifest_path() const noexcept {
+    return manifest_;
+  }
+
+  /// Paths. ensure_epoch_dir creates the epoch's shard directory.
+  [[nodiscard]] std::string epoch_dir(std::uint64_t epoch) const;
+  [[nodiscard]] std::string shard_path(std::uint64_t epoch,
+                                       std::size_t shard) const;
+  void ensure_epoch_dir(std::uint64_t epoch) const;
+
+  /// Checkpoint appends; both flush before returning so a kill right
+  /// after a shard completes cannot lose the line.
+  void note_shard(std::uint64_t epoch, std::size_t shard,
+                  std::size_t records);
+  void note_epoch_done(std::uint64_t epoch, std::size_t records,
+                       std::uint64_t digest);
+
+  /// Loaded checkpoint state.
+  [[nodiscard]] std::optional<std::size_t> shard_records(
+      std::uint64_t epoch, std::size_t shard) const;
+  [[nodiscard]] std::optional<epoch_checkpoint> epoch_done(
+      std::uint64_t epoch) const;
+
+ private:
+  void write_header();
+  void load();
+  void append_line(const std::string& line);
+
+  store_config cfg_;
+  std::string manifest_;
+  std::map<std::pair<std::uint64_t, std::size_t>, std::size_t> shards_;
+  std::map<std::uint64_t, epoch_checkpoint> done_;
+};
+
+}  // namespace certquic::service

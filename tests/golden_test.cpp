@@ -61,6 +61,8 @@ TEST(Golden, FigTtfbCdf) { check_bench("fig_ttfb_cdf"); }
 
 TEST(Golden, FigTtfbPqc) { check_bench("fig_ttfb_pqc"); }
 
+TEST(Golden, FigEpochDeltas) { check_bench("fig_epoch_deltas"); }
+
 }  // namespace
 }  // namespace certquic::test
 

@@ -234,5 +234,85 @@ TEST_F(ModelTest, MetaChainsScaleWithSans) {
   EXPECT_FALSE(m.meta_behavior(*ig).limit_covers_retransmissions);
 }
 
+class ChurnTest : public ::testing::Test {
+ protected:
+  static constexpr config kConfig{.domains = 1500, .seed = 7};
+
+  static void expect_same_records(const model& a, const model& b) {
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+      const service_record& ra = a.records()[i];
+      const service_record& rb = b.records()[i];
+      EXPECT_EQ(ra.seed, rb.seed) << "record " << i;
+      EXPECT_EQ(ra.domain, rb.domain) << "record " << i;
+      EXPECT_EQ(ra.dns_result, rb.dns_result) << "record " << i;
+      EXPECT_EQ(ra.address.to_string(), rb.address.to_string())
+          << "record " << i;
+      EXPECT_EQ(ra.svc, rb.svc) << "record " << i;
+      EXPECT_EQ(ra.chain_profile, rb.chain_profile) << "record " << i;
+      EXPECT_EQ(ra.force_rsa_leaf, rb.force_rsa_leaf) << "record " << i;
+      EXPECT_EQ(ra.cruise_sans, rb.cruise_sans) << "record " << i;
+      EXPECT_EQ(ra.behavior, rb.behavior) << "record " << i;
+      EXPECT_EQ(ra.supports_brotli, rb.supports_brotli) << "record " << i;
+    }
+  }
+};
+
+TEST_F(ChurnTest, EpochZeroIsTheBasePopulation) {
+  const model base = model::generate(kConfig);
+  const model at0 = model::at_epoch(kConfig, {}, 0);
+  expect_same_records(base, at0);
+}
+
+TEST_F(ChurnTest, EpochIsPureFunctionOfConfigAndIndex) {
+  // Epoch 3 must be bit-identical whether epochs 0..2 were ever
+  // materialized (a resumed service regenerates exactly the world the
+  // killed process probed).
+  const model direct = model::at_epoch(kConfig, {}, 3);
+  for (std::uint64_t e = 0; e < 3; ++e) {
+    const model detour = model::at_epoch(kConfig, {}, e);
+    ASSERT_EQ(detour.records().size(), kConfig.domains);
+  }
+  const model again = model::at_epoch(kConfig, {}, 3);
+  expect_same_records(direct, again);
+
+  // And the manual path (generate + evolve) agrees with at_epoch.
+  model folded = model::generate(kConfig);
+  (void)folded.evolve_to_epoch({}, 3);
+  expect_same_records(direct, folded);
+}
+
+TEST_F(ChurnTest, ChurnActuallyChangesThePopulation) {
+  churn_summary summary;
+  const model base = model::at_epoch(kConfig, {}, 0);
+  const model evolved = model::at_epoch(kConfig, {}, 4, &summary);
+  EXPECT_EQ(summary.epoch, 4u);
+  EXPECT_GT(summary.total(), 0u);
+  EXPECT_GT(summary.key_rotations, 0u);
+
+  std::size_t differing = 0;
+  ASSERT_EQ(base.records().size(), evolved.records().size());
+  for (std::size_t i = 0; i < base.records().size(); ++i) {
+    const service_record& rb = base.records()[i];
+    const service_record& re = evolved.records()[i];
+    EXPECT_EQ(rb.domain, re.domain) << "churn must not rename domains";
+    EXPECT_EQ(rb.rank, re.rank);
+    if (rb.seed != re.seed || rb.svc != re.svc ||
+        rb.chain_profile != re.chain_profile) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST_F(ChurnTest, EpochSeedsAreDistinctPerEpoch) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    seeds.insert(epoch_seed(42, e));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+  EXPECT_NE(epoch_seed(42, 1), epoch_seed(43, 1));
+}
+
 }  // namespace
 }  // namespace certquic::internet

@@ -196,6 +196,75 @@ TEST(SpillFooter, EmptySampleRoundTrips) {
   std::filesystem::remove(path);
 }
 
+TEST(SpillProbe, ClassifiesCompleteTruncatedMissing) {
+  const auto path = temp_file("certquic_spill_probe.txt");
+  engine::probe_plan plan;
+  const std::size_t records = spill_fixture(path, plan);
+
+  auto probe = engine::spill_probe(path.string());
+  EXPECT_EQ(probe.state, engine::spill_state::complete);
+  EXPECT_TRUE(probe.complete());
+  EXPECT_EQ(probe.records, records);
+  EXPECT_EQ(probe.variants, plan.variants.size());
+  EXPECT_EQ(probe.sampled * probe.variants, records);
+
+  // Footer dropped: every record is still salvageable, but the file
+  // must not classify as complete.
+  auto lines = read_lines(path);
+  lines.pop_back();
+  write_lines(path, lines);
+  probe = engine::spill_probe(path.string());
+  EXPECT_EQ(probe.state, engine::spill_state::truncated);
+  EXPECT_FALSE(probe.complete());
+  EXPECT_EQ(probe.records, records);
+
+  // Cut mid-record: only the records before the tear count.
+  lines.resize(3);  // header + two records
+  write_lines(path, lines);
+  std::ofstream{path, std::ios::app} << "torn-record 17";
+  probe = engine::spill_probe(path.string());
+  EXPECT_EQ(probe.state, engine::spill_state::truncated);
+  EXPECT_EQ(probe.records, 2u);
+  std::filesystem::remove(path);
+
+  probe = engine::spill_probe(path.string());
+  EXPECT_EQ(probe.state, engine::spill_state::missing);
+  EXPECT_EQ(probe.records, 0u);
+
+  EXPECT_EQ(engine::to_string(engine::spill_state::complete), "complete");
+  EXPECT_EQ(engine::to_string(engine::spill_state::truncated), "truncated");
+  EXPECT_EQ(engine::to_string(engine::spill_state::missing), "missing");
+}
+
+TEST(SpillProbe, MergeErrorNamesShardStates) {
+  const auto good = temp_file("certquic_spill_probe_good.txt");
+  const auto bad = temp_file("certquic_spill_probe_bad.txt");
+  engine::probe_plan plan;
+  spill_fixture(good, plan);
+  {
+    engine::probe_plan plan_again;
+    spill_fixture(bad, plan_again);
+  }
+  auto lines = read_lines(bad);
+  lines.pop_back();  // footer gone: truncated
+  write_lines(bad, lines);
+
+  counting_sink sink;
+  const engine::spill_merge merge{shared_model(), plan};
+  try {
+    (void)merge.replay({good.string(), bad.string()}, sink);
+    FAIL() << "replay of a truncated shard must throw";
+  } catch (const codec_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(good.string() + "=complete"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(bad.string() + "=truncated"), std::string::npos)
+        << what;
+  }
+  std::filesystem::remove(good);
+  std::filesystem::remove(bad);
+}
+
 TEST(SpillLifecycle, RecordWithoutBeginThrows) {
   const auto path = temp_file("certquic_spill_nolifecycle.txt");
   engine::spill_sink sink{path.string()};

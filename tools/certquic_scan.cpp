@@ -1,14 +1,5 @@
 // certquic_scan — command-line front-end to the measurement toolkit.
-//
-// Usage:
-//   certquic_scan census    [--domains N] [--seed S] [--initial BYTES]
-//   certquic_scan sweep     [--domains N] [--seed S] [--sample N]
-//   certquic_scan compress  [--domains N] [--seed S]
-//   certquic_scan spoof     [--domains N] [--seed S] [--sessions N]
-//   certquic_scan outofcore [--domains N] [--seed S] [--sample N]
-//                           [--shards N] [--spill-dir DIR] [--no-compare]
-//   certquic_scan ttfb      [--domains N] [--seed S] [--sample N]
-//   certquic_scan domain <name> [--domains N] [--seed S] [--initial BYTES]
+// `certquic_scan --help` lists every subcommand and flag.
 //
 // Every engine-backed subcommand accepts --threads N (0 = default:
 // $CERTQUIC_THREADS, else all hardware threads); results are
@@ -21,11 +12,16 @@
 // `census` on the same population — the verify.sh gate diffs the two —
 // while shard/RSS details go to stderr); `ttfb` runs the time-domain
 // chain-profile x network-condition sweep and prints per-cell TTFB
-// medians; `domain` probes one service in detail.
+// medians; `epochs` runs the longitudinal census service over an
+// evolving population (checkpointed in an epoch store; rerunning the
+// same store resumes an interrupted run); `serve` is its bounded
+// service loop, sealing one epoch per pass; `domain` probes one
+// service in detail.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <string>
 
@@ -37,11 +33,57 @@
 #include "engine/engine.hpp"
 #include "scan/qscanner.hpp"
 #include "scan/reach.hpp"
+#include "service/census_service.hpp"
 #include "util/text_table.hpp"
 
 namespace {
 
 using namespace certquic;
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: certquic_scan <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  census     classify handshakes at one Initial size\n"
+      "  sweep      Fig. 3 Initial-size sweep\n"
+      "  compress   certificate-compression study (paper SS4.2)\n"
+      "  spoof      spoofed-handshake telescope study (paper SS4.3)\n"
+      "  outofcore  census via the sharded spill->merge pipeline\n"
+      "  ttfb       time-domain TTFB sweep (chain profile x network)\n"
+      "  epochs     longitudinal census over an evolving population;\n"
+      "             rerunning the same --store resumes an interrupted run\n"
+      "  serve      bounded service loop: seal one epoch per pass\n"
+      "  domain     probe one service in detail: domain <name>\n"
+      "\n"
+      "flags:\n"
+      "  --domains N     population size (default 20000)\n"
+      "  --seed S        population seed (default 42)\n"
+      "  --initial B     client Initial size in bytes (default 1362)\n"
+      "  --sample N      probe at most N services (default 1500)\n"
+      "  --sessions N    spoof: sessions per provider (default 80)\n"
+      "  --shards N      outofcore/epochs/serve: spill shards (default 8)\n"
+      "  --spill-dir DIR outofcore: keep the spill shards in DIR\n"
+      "  --no-compare    outofcore: skip the in-memory baseline\n"
+      "  --epochs N      epochs/serve: target epoch count (default 4)\n"
+      "  --store DIR     epochs/serve: epoch store directory (default: a\n"
+      "                  temp dir removed afterwards; resume needs --store)\n"
+      "  --abort-after-shards N  epochs: stop (store resumable) after\n"
+      "                  probing N shard slices — crash injection\n"
+      "  --threads N     engine threads (0 = default)\n",
+      out);
+}
+
+bool known_command(const std::string& cmd) {
+  for (const char* known :
+       {"census", "sweep", "compress", "spoof", "outofcore", "ttfb",
+        "epochs", "serve", "domain"}) {
+    if (cmd == known) {
+      return true;
+    }
+  }
+  return false;
+}
 
 struct cli_options {
   std::string command;
@@ -54,6 +96,9 @@ struct cli_options {
   std::size_t shards = 8;
   std::string spill_dir;     // empty = temp dir, removed afterwards
   bool no_compare = false;   // skip the materializing baseline
+  std::size_t epochs = 4;
+  std::string store_dir;     // empty = temp dir, removed afterwards
+  std::size_t abort_after_shards = 0;
   std::size_t threads = 0;   // 0 = engine default
 
   [[nodiscard]] engine::options exec() const { return {.threads = threads}; }
@@ -86,6 +131,10 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
       opt.spill_dir = argv[++i];
       continue;
     }
+    if (flag == "--store") {
+      opt.store_dir = argv[++i];
+      continue;
+    }
     const auto value = std::strtoull(argv[++i], nullptr, 10);
     if (flag == "--domains") {
       opt.domains = value;
@@ -99,6 +148,10 @@ bool parse_args(int argc, char** argv, cli_options& opt) {
       opt.sessions = value;
     } else if (flag == "--shards") {
       opt.shards = value;
+    } else if (flag == "--epochs") {
+      opt.epochs = value;
+    } else if (flag == "--abort-after-shards") {
+      opt.abort_after_shards = value;
     } else if (flag == "--threads") {
       opt.threads = value;
     } else {
@@ -277,6 +330,77 @@ int run_ttfb(const internet::model& m, const cli_options& opt) {
   return 0;
 }
 
+service::service_options service_opts(const cli_options& opt,
+                                      const std::string& store_dir) {
+  service::service_options sopt;
+  sopt.store_dir = store_dir;
+  sopt.domains = opt.domains;
+  sopt.seed = opt.seed;
+  sopt.sample = opt.sample;
+  sopt.shards = opt.shards;
+  sopt.initial_size = opt.initial;
+  sopt.epochs = opt.epochs;
+  sopt.abort_after_shards = opt.abort_after_shards;
+  return sopt;
+}
+
+/// `epochs`/`serve` build one model per epoch themselves, so unlike the
+/// other subcommands they never touch the up-front base model.
+int run_epochs_cmd(const cli_options& opt) {
+  const bool temp_store = opt.store_dir.empty();
+  const std::string store_dir =
+      temp_store ? (std::filesystem::temp_directory_path() /
+                    ("certquic_epochs_" + std::to_string(::getpid())))
+                       .string()
+                 : opt.store_dir;
+  const temp_dir_cleanup cleanup{temp_store ? store_dir : ""};
+  const auto result =
+      service::run_epochs(service_opts(opt, store_dir), opt.exec());
+  std::printf("%s", service::render_epoch_tables(result).c_str());
+  std::fprintf(stderr, "epochs: %zu reported, %zu shard slices probed\n",
+               result.epochs.size(), result.probed_shards);
+  if (!result.complete) {
+    std::fprintf(stderr,
+                 "epochs: run incomplete; rerun with the same --store "
+                 "to resume\n");
+    return 3;
+  }
+  return 0;
+}
+
+int run_serve(const cli_options& opt) {
+  const bool temp_store = opt.store_dir.empty();
+  const std::string store_dir =
+      temp_store ? (std::filesystem::temp_directory_path() /
+                    ("certquic_serve_" + std::to_string(::getpid())))
+                       .string()
+                 : opt.store_dir;
+  const temp_dir_cleanup cleanup{temp_store ? store_dir : ""};
+  service::service_options sopt = service_opts(opt, store_dir);
+  sopt.max_epochs_per_call = 1;
+  std::size_t reported = 0;
+  while (true) {
+    const auto result = service::run_epochs(sopt, opt.exec());
+    if (result.epochs.size() <= reported && !result.complete) {
+      std::fprintf(stderr, "serve: no progress (crash injection?); "
+                           "store left resumable\n");
+      return 3;
+    }
+    reported = result.epochs.size();
+    const auto& last = result.epochs.back();
+    std::fprintf(stderr,
+                 "serve: epoch %llu sealed (%zu records, churn %zu, "
+                 "%zu/%zu slices probed/reused)\n",
+                 static_cast<unsigned long long>(last.epoch),
+                 last.aggregate.records, last.churn.total(),
+                 last.shards_probed, last.shards_reused);
+    if (result.complete) {
+      std::printf("%s", service::render_epoch_tables(result).c_str());
+      return 0;
+    }
+  }
+}
+
 int run_domain(const internet::model& m, const cli_options& opt) {
   for (const auto& rec : m.records()) {
     if (rec.domain != opt.domain) {
@@ -319,38 +443,56 @@ int run_domain(const internet::model& m, const cli_options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h" || first == "help") {
+      usage(stdout);
+      return 0;
+    }
+    if (!known_command(first)) {
+      std::fprintf(stderr, "unknown command: %s\n\n", first.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
   cli_options opt;
   if (!parse_args(argc, argv, opt)) {
-    std::fprintf(stderr,
-                 "usage: certquic_scan census|sweep|compress|spoof|"
-                 "outofcore|ttfb|domain <name> [--domains N] [--seed S] "
-                 "[--initial B] [--sample N] [--sessions N] [--shards N] "
-                 "[--spill-dir DIR] [--no-compare] [--threads N]\n");
+    usage(stderr);
     return 2;
   }
-  const auto model = internet::model::generate(
-      {.domains = opt.domains, .seed = opt.seed});
-  if (opt.command == "census") {
-    return run_census(model, opt);
-  }
-  if (opt.command == "sweep") {
-    return run_sweep(model, opt);
-  }
-  if (opt.command == "compress") {
-    return run_compress(model, opt);
-  }
-  if (opt.command == "spoof") {
-    return run_spoof(model, opt);
-  }
-  if (opt.command == "outofcore") {
-    return run_outofcore(model, opt);
-  }
-  if (opt.command == "ttfb") {
-    return run_ttfb(model, opt);
-  }
-  if (opt.command == "domain") {
+  try {
+    // The longitudinal subcommands build one model per epoch; every
+    // other subcommand probes the one base population.
+    if (opt.command == "epochs") {
+      return run_epochs_cmd(opt);
+    }
+    if (opt.command == "serve") {
+      return run_serve(opt);
+    }
+    const auto model = internet::model::generate(
+        {.domains = opt.domains, .seed = opt.seed});
+    if (opt.command == "census") {
+      return run_census(model, opt);
+    }
+    if (opt.command == "sweep") {
+      return run_sweep(model, opt);
+    }
+    if (opt.command == "compress") {
+      return run_compress(model, opt);
+    }
+    if (opt.command == "spoof") {
+      return run_spoof(model, opt);
+    }
+    if (opt.command == "outofcore") {
+      return run_outofcore(model, opt);
+    }
+    if (opt.command == "ttfb") {
+      return run_ttfb(model, opt);
+    }
     return run_domain(model, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "certquic_scan %s: %s\n", opt.command.c_str(),
+                 e.what());
+    return 1;
   }
-  std::fprintf(stderr, "unknown command: %s\n", opt.command.c_str());
-  return 2;
 }

@@ -34,13 +34,15 @@ bool starts_with(const std::string& s, const char* prefix) {
 /// unordered-iter applies where aggregates are built.
 bool in_aggregator_paths(const std::string& relative_path) {
   return starts_with(relative_path, "engine/") ||
-         starts_with(relative_path, "core/");
+         starts_with(relative_path, "core/") ||
+         starts_with(relative_path, "service/");
 }
 
 /// float-accum applies to golden-feeding paths.
 bool in_golden_paths(const std::string& relative_path) {
   return starts_with(relative_path, "engine/") ||
          starts_with(relative_path, "core/") ||
+         starts_with(relative_path, "service/") ||
          starts_with(relative_path, "stats/");
 }
 

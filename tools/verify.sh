@@ -5,8 +5,9 @@
 # Usage: tools/verify.sh [--docs] [--outofcore] [--threads N] [--sanitize]
 #                        [extra ctest args...]
 #   tools/verify.sh                 # full tier-1 + tier-2 run + determinism
-#                                   # lint + out-of-core smoke + docs check
-#   tools/verify.sh -L tier1        # tier-1 only (+ lint/out-of-core/docs)
+#                                   # lint + out-of-core and epochs
+#                                   # (kill-resume) smokes + docs check
+#   tools/verify.sh -L tier1        # tier-1 only (+ lint/smokes/docs)
 #   tools/verify.sh --docs          # docs/golden-coverage check only (no build)
 #   tools/verify.sh --outofcore     # build + out-of-core smoke only: a small
 #                                   # sharded spill-merge census diffed
@@ -97,6 +98,45 @@ outofcore_check() {
   return "$ooc_status"
 }
 
+# Longitudinal-service smoke: a 3-epoch run killed after 4 shard slices
+# (with the last written shard additionally cut mid-record, as a crash
+# mid-write would leave it) and then resumed must print the
+# byte-identical epoch tables of an uninterrupted run. Expects cwd =
+# build/.
+epochs_check() {
+  ep_dir=$(mktemp -d)
+  ep_status=0
+  ep_flags="--domains 2000 --sample 150 --shards 3 --epochs 3"
+  ./tools/certquic_scan epochs $ep_flags --store "$ep_dir/full" \
+    > "$ep_dir/full.txt" 2> /dev/null || ep_status=1
+  # The aborted run must itself exit nonzero (incomplete, resumable).
+  if ./tools/certquic_scan epochs $ep_flags --store "$ep_dir/resume" \
+       --abort-after-shards 4 > /dev/null 2>&1; then
+    echo "FAIL epochs: crash-injected run exited zero"
+    ep_status=1
+  fi
+  last_shard=$(find "$ep_dir/resume" -name 'shard_*.spill' | sort | tail -1)
+  if [ -n "$last_shard" ]; then
+    head -c 64 "$last_shard" > "$last_shard.cut"
+    mv "$last_shard.cut" "$last_shard"
+  else
+    echo "FAIL epochs: crash-injected run left no shard files"
+    ep_status=1
+  fi
+  ./tools/certquic_scan epochs $ep_flags --store "$ep_dir/resume" \
+    > "$ep_dir/resumed.txt" 2> /dev/null || ep_status=1
+  if [ "$ep_status" -eq 0 ] &&
+     cmp -s "$ep_dir/full.txt" "$ep_dir/resumed.txt"; then
+    echo "OK   epochs: killed-and-resumed run == uninterrupted run"
+  else
+    echo "FAIL epochs: resumed output differs from uninterrupted run"
+    diff -u "$ep_dir/full.txt" "$ep_dir/resumed.txt" || true
+    ep_status=1
+  fi
+  rm -rf "$ep_dir"
+  return "$ep_status"
+}
+
 # Determinism lint over the module-registered sources, against the
 # checked-in waiver file. The `lint` target depends on (and builds)
 # the certquic_lint binary. Expects cwd = repo root.
@@ -165,7 +205,7 @@ if [ "$sanitize" -eq 1 ]; then
   cmake -B build-tsan -S . -DCERTQUIC_WERROR=ON -DCERTQUIC_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   (cd build-tsan && ctest --output-on-failure -j "$jobs" "$@" -R \
-    '^(engine_test|backend_test|outofcore_test|ttfb_test|stats_test|net_test)$')
+    '^(engine_test|backend_test|outofcore_test|service_test|ttfb_test|stats_test|net_test)$')
 
   echo "OK   sanitize: ASan+UBSan tier-1 and TSan threaded suites clean"
   exit 0
@@ -188,6 +228,7 @@ if [ -z "$engine_threads" ]; then
   # job count explicitly to keep extra ctest args (e.g. -L tier1) working.
   ctest --output-on-failure -j "$jobs" "$@"
   outofcore_check
+  epochs_check
   cd "$repo_root"
   status=0
   lint_check || status=1
@@ -216,12 +257,16 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
            fig06_chain_size_cdf tab01_browser_profiles \
            tab02_crypto_algorithms fig09_spoofed_amplification \
            fig_pqc_chain_impact fig_outofcore_rss \
-           fig_ttfb_cdf fig_ttfb_pqc; do
-  # fig_ttfb_pqc additionally drops the BENCH_ttfb.json perf record
-  # (median/p95 TTFB per cell + wall time) next to the build tree.
+           fig_ttfb_cdf fig_ttfb_pqc fig_epoch_deltas; do
+  # fig_ttfb_pqc / fig_epoch_deltas additionally drop machine-readable
+  # perf records (BENCH_ttfb.json / BENCH_epochs.json) next to the
+  # build tree.
   bench_json=""
   if [ "$bin" = "fig_ttfb_pqc" ]; then
     bench_json="CERTQUIC_BENCH_JSON=$PWD/BENCH_ttfb.json"
+  fi
+  if [ "$bin" = "fig_epoch_deltas" ]; then
+    bench_json="CERTQUIC_BENCH_JSON=$PWD/BENCH_epochs.json"
   fi
   env $smoke_env $bench_json CERTQUIC_THREADS=1 "./bench/$bin" \
     > "$out_dir/$bin.serial.txt"
@@ -236,6 +281,7 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
   fi
 done
 outofcore_check || status=1
+epochs_check || status=1
 cd "$repo_root"
 lint_check || status=1
 docs_check || status=1
