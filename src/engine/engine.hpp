@@ -6,6 +6,13 @@
 // reach_backend; shared-world studies (telescope backscatter) drive
 // run_backend with a backscatter_backend directly.
 //
+// parallel_ordered is the single execution primitive underneath it
+// all. It dispatches, per engine::options, between two bit-identical
+// implementations: the default lock-free streaming pipeline over SPSC
+// rings (engine/streaming_executor.hpp — no join barrier, results flow
+// to the consumer while workers are still probing) and the historical
+// chunk-and-join path kept below as the reference implementation.
+//
 // Determinism rests on three invariants:
 //  1. every probe's randomness is a pure function of the plan and the
 //     record (probe_seed / the record's own seed), never of scheduling;
@@ -24,10 +31,12 @@
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "engine/probe_plan.hpp"
 #include "engine/sink.hpp"
+#include "engine/streaming_executor.hpp"
 #include "internet/model.hpp"
 #include "util/assert.hpp"
 
@@ -42,6 +51,15 @@ struct options {
   /// Probes per shard handed to a worker at a time. 0 resolves to the
   /// default via resolved_chunk().
   std::size_t chunk = 64;
+  /// Which parallel_ordered implementation to use. `automatic` defers
+  /// to $CERTQUIC_EXECUTOR ("streaming" | "chunked"), defaulting to
+  /// the lock-free streaming pipeline; both are bit-identical, so this
+  /// knob exists for A/B benchmarking and regression bisection, not
+  /// correctness.
+  executor_mode mode = executor_mode::automatic;
+  /// Per-worker SPSC ring capacity for the streaming executor, rounded
+  /// up to a power of two. 0 resolves to kDefaultRingCapacity.
+  std::size_t ring = 0;
 
   /// The effective chunk size; the single place the `0 means 64`
   /// default lives, shared by parallel_ordered and run_backend so the
@@ -50,12 +68,21 @@ struct options {
     return chunk == 0 ? 64 : chunk;
   }
 
+  /// The effective streaming-ring capacity.
+  [[nodiscard]] std::size_t resolved_ring() const noexcept {
+    return ring == 0 ? kDefaultRingCapacity : ring;
+  }
+
   [[nodiscard]] static options serial() { return {.threads = 1}; }
 };
 
 /// Resolves options::threads against the environment and hardware;
 /// never returns 0.
 [[nodiscard]] std::size_t resolved_threads(const options& opt);
+
+/// Resolves options::mode against $CERTQUIC_EXECUTOR; never returns
+/// `automatic`.
+[[nodiscard]] executor_mode resolved_mode(const options& opt);
 
 /// Ordered parallel map: computes work(i) for i in [0, n) on a worker
 /// pool, then calls consume(i, result) for every i in ascending order
@@ -75,6 +102,13 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
     for (std::size_t i = 0; i < n; ++i) {
       consume(i, work(i));
     }
+    return;
+  }
+
+  if (resolved_mode(opt) == executor_mode::streaming) {
+    streaming_parallel_ordered(n, threads, opt.resolved_chunk(),
+                               opt.resolved_ring(), std::forward<Work>(work),
+                               std::forward<Consume>(consume));
     return;
   }
 
@@ -141,13 +175,11 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
     pool.emplace_back(worker);
   }
 
-#if defined(CERTQUIC_ENABLE_ASSERTS)
   // Sequencer invariant: the ordered consumer must see every index
   // exactly once, in ascending order — this is what makes parallel
   // aggregation bit-identical to serial. Checked per consume call in
-  // debug/sanitizer builds.
-  std::size_t consume_cursor = 0;
-#endif
+  // debug/sanitizer builds (sequencer_ticket is a no-op otherwise).
+  sequencer_ticket ticket;
   try {
     std::unique_lock<std::mutex> lock{mu};
     for (std::size_t c = 0; c < chunks; ++c) {
@@ -159,12 +191,7 @@ void parallel_ordered(std::size_t n, const options& opt, Work&& work,
       lock.unlock();
       const std::size_t lo = c * chunk;
       for (std::size_t j = 0; j < results->size(); ++j) {
-#if defined(CERTQUIC_ENABLE_ASSERTS)
-        CERTQUIC_ASSERT(lo + j == consume_cursor,
-                        "parallel_ordered: consumer left ascending index "
-                        "order — the sequencer is broken");
-        ++consume_cursor;
-#endif
+        ticket.advance(lo + j);
         consume(lo + j, std::move((*results)[j]));
       }
       lock.lock();

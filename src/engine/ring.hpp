@@ -1,0 +1,143 @@
+// Fixed-size lock-free single-producer/single-consumer ring — the
+// hand-off primitive of the streaming executor (streaming_executor.hpp),
+// in the spirit of firedancer's mcache stages: one producer thread
+// pushes, one consumer thread pops, and the only synchronization is an
+// acquire/release pair on two monotonically increasing cursors.
+//
+// Design:
+//  * Capacity is rounded up to a power of two, so slot lookup is a mask
+//    (cursor & mask) and full/empty tests are plain cursor subtraction
+//    (tail - head == capacity / tail == head) that stays correct across
+//    wraparound of the std::size_t cursors themselves.
+//  * The producer owns tail_ (release-stored after the slot is
+//    constructed), the consumer owns head_ (release-stored after the
+//    slot is destroyed). Each side keeps a plain-cache copy of the
+//    *other* side's cursor and refreshes it with an acquire load only
+//    when the stale value says full/empty — the common-case push/pop
+//    touches no shared cache line of the peer.
+//  * The cursor pairs live on their own cache lines (alignas) and the
+//    class itself is cache-line aligned, so producer and consumer never
+//    false-share, and two adjacent rings never share a line.
+//  * try_push/try_pop never block and never spin: backpressure policy
+//    (what to do when full/empty — yield, park, abort) belongs to the
+//    caller, which keeps the ring itself trivially lock-free and lets
+//    the executor check its cancellation flag between retries.
+//  * A failed try_push does NOT consume the value: the argument is only
+//    moved from once a free slot is secured, so callers may retry with
+//    the same object.
+//
+// The ring stores move-constructible payloads (move-only types
+// included) in raw storage: slots are placement-new constructed on push
+// and destroyed on pop, so no default-constructibility is required and
+// capacity-1 rings are legal.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace certquic::engine {
+
+/// Destructive-interference padding for the ring cursors. A fixed 64
+/// instead of std::hardware_destructive_interference_size: the constant
+/// must not vary between translation units (ODR), and 64 is the line
+/// size of every deployment target.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class alignas(kCacheLineSize) spsc_ring {
+  static_assert(std::is_move_constructible_v<T>,
+                "spsc_ring payloads must be move-constructible");
+
+ public:
+  /// Builds a ring holding at least `min_capacity` elements; the actual
+  /// capacity is the next power of two (minimum 1).
+  explicit spsc_ring(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity == 0 ? std::size_t{1}
+                                                  : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::allocator<T>{}.allocate(capacity_)) {}
+
+  ~spsc_ring() {
+    // Single-threaded by the SPSC contract at destruction time; drain
+    // whatever the consumer never popped.
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    for (std::size_t cursor = head_.load(std::memory_order_acquire);
+         cursor != tail; ++cursor) {
+      slot(cursor)->~T();
+    }
+    std::allocator<T>{}.deallocate(slots_, capacity_);
+  }
+
+  spsc_ring(const spsc_ring&) = delete;
+  spsc_ring& operator=(const spsc_ring&) = delete;
+
+  /// Producer side. Returns false when the ring is full; the value is
+  /// left untouched in that case, so the producer can retry with it.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity_) {
+        return false;  // genuinely full — backpressure
+      }
+    }
+    ::new (static_cast<void*>(slot(tail))) T(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns the oldest element, or nullopt when the
+  /// ring is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return std::nullopt;  // genuinely empty
+      }
+    }
+    T* occupied = slot(head);
+    std::optional<T> out{std::move(*occupied)};
+    occupied->~T();
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Element-count snapshot; exact only while the other side is quiet
+  /// (diagnostics, tests — never synchronization).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  [[nodiscard]] T* slot(std::size_t cursor) noexcept {
+    return slots_ + (cursor & mask_);
+  }
+
+  // Immutable after construction; shared read-only by both sides.
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  T* const slots_;
+
+  // Producer cache line: the producer's cursor plus its stale copy of
+  // the consumer's.
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+
+  // Consumer cache line, symmetric. The class-level alignas rounds
+  // sizeof(spsc_ring) up to a full line, so this group never shares a
+  // line with a neighboring object either.
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+};
+
+}  // namespace certquic::engine

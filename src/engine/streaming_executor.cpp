@@ -1,0 +1,21 @@
+#include "engine/streaming_executor.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace certquic::engine {
+
+executor_mode executor_mode_from_env() {
+  if (const char* env = std::getenv("CERTQUIC_EXECUTOR");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "chunked") == 0) {
+      return executor_mode::chunked;
+    }
+    // Anything else — including explicit "streaming" — gets the
+    // default; an unknown value must not silently change results, and
+    // both executors are bit-identical anyway.
+  }
+  return executor_mode::streaming;
+}
+
+}  // namespace certquic::engine

@@ -1,0 +1,214 @@
+// The lock-free streaming executor: a producer/consumer pipeline over
+// per-worker SPSC rings (ring.hpp) that replaces the historical
+// chunk-and-join path of parallel_ordered. N probe workers each own one
+// ring; the caller's thread runs the plan-order sequencer, draining the
+// rings ticket by ticket and streaming every result to the consumer the
+// moment it is available — no join barrier, so records flow into the
+// sink while later shards are still probing, and a slow sink stalls
+// workers only once their own ring fills (bounded backpressure), never
+// at a chunk boundary.
+//
+// How plan order survives without a barrier:
+//  * chunk c of the index space is *statically* owned by worker
+//    w = c % workers, and each worker walks its chunks in ascending
+//    order — so worker w produces its items in exactly the order the
+//    global plan visits them;
+//  * the sequencer visits tickets 0, 1, 2, ... (for backend runs the
+//    ticket encodes (variant, shard, index) through the plan's
+//    variant-major enumeration) and pops ticket i from the ring of the
+//    worker that owns chunk i / chunk — per ring, its consumption
+//    order equals the producer's production order, so the FIFO ring
+//    hands it exactly the item it is waiting for;
+//  * therefore the next ticket the sequencer needs is always the head
+//    of exactly one ring: either it is already buffered (progress) or
+//    its owner is still computing it and the ring has space for it
+//    (the items before it in that ring have been consumed) — the
+//    pipeline cannot deadlock, and delivery is strictly ascending.
+// work(i) calls and the consume order are identical to the serial loop,
+// which is what keeps parallel aggregates bit-identical to serial ones
+// (tests/executor_test.cpp pins this at 1/2/8/16 threads against the
+// chunked path, over both the reach and backscatter backends).
+//
+// Cancellation: a failure flag is checked by workers between items and
+// inside the push-backpressure loop, and by the sequencer inside the
+// pop loop, so an exception on either side (worker or sink) drains the
+// pipeline promptly; the first exception is rethrown on the caller
+// after all workers joined.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "engine/ring.hpp"
+#include "util/assert.hpp"
+
+namespace certquic::engine {
+
+/// Which executor implementation parallel_ordered routes through.
+enum class executor_mode : std::uint8_t {
+  /// Resolve via $CERTQUIC_EXECUTOR ("streaming" | "chunked");
+  /// streaming when unset — the pipelined design is the engine.
+  automatic,
+  /// Lock-free SPSC-ring pipeline (this header).
+  streaming,
+  /// Historical chunk-and-join path (engine.hpp) — kept as the
+  /// reference implementation the streaming path is diffed against.
+  chunked,
+};
+
+/// $CERTQUIC_EXECUTOR resolution; streaming unless the environment
+/// explicitly says "chunked".
+[[nodiscard]] executor_mode executor_mode_from_env();
+
+/// Per-worker ring capacity when options::ring is 0. 64 entries bounds
+/// buffered results to O(threads * 64) items — the same order as the
+/// old chunk window — while giving workers enough slack to ride out
+/// sink latency spikes.
+inline constexpr std::size_t kDefaultRingCapacity = 64;
+
+/// Debug-only sequencer-ticket monotonicity check: the sequencer must
+/// deliver tickets 0, 1, 2, ... with no gap, duplicate or reordering —
+/// the invariant that makes parallel aggregation bit-identical to
+/// serial. advance(t) asserts t is exactly the next expected ticket in
+/// CERTQUIC_ENABLE_ASSERTS builds (death-tested by executor_test) and
+/// compiles to nothing in release builds.
+class sequencer_ticket {
+ public:
+  void advance(std::size_t ticket) noexcept {
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+    CERTQUIC_ASSERT(ticket == next_,
+                    "sequencer ticket left plan order — ordered delivery "
+                    "must be monotone ascending with no gaps");
+    ++next_;
+#else
+    (void)ticket;
+#endif
+  }
+
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+ private:
+  std::size_t next_ = 0;
+#endif
+};
+
+/// Ordered parallel map over SPSC rings: computes work(i) for i in
+/// [0, n) on `threads` workers and calls consume(i, result) for every i
+/// in ascending order on the calling thread — the same contract as
+/// parallel_ordered (engine.hpp), which routes here by default; call
+/// through that entry point unless you are the dispatch itself or a
+/// test pinning the two implementations against each other.
+/// `chunk` is the partition granularity (>= 1), `ring_capacity` the
+/// per-worker buffer (rounded up to a power of two by the ring).
+/// Exceptions from work or consume cancel the run and rethrow on the
+/// caller. Requires n >= 1 and threads >= 1 (callers keep the serial
+/// fast path for the degenerate cases).
+template <typename Work, typename Consume>
+void streaming_parallel_ordered(std::size_t n, std::size_t threads,
+                                std::size_t chunk, std::size_t ring_capacity,
+                                Work&& work, Consume&& consume) {
+  using result_t = std::decay_t<std::invoke_result_t<Work&, std::size_t>>;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  const std::size_t workers = std::min(threads, chunks);
+
+  // One ring per worker; unique_ptr keeps each alignas(64) ring stable
+  // and off the others' cache lines regardless of vector reallocation.
+  std::vector<std::unique_ptr<spsc_ring<result_t>>> rings;
+  rings.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    rings.push_back(std::make_unique<spsc_ring<result_t>>(ring_capacity));
+  }
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  const auto record_failure = [&](std::exception_ptr e) {
+    {
+      const std::lock_guard<std::mutex> lock{error_mu};
+      if (error == nullptr) {
+        error = std::move(e);
+      }
+    }
+    failed.store(true, std::memory_order_release);
+  };
+
+  const auto worker = [&](std::size_t w) {
+    spsc_ring<result_t>& ring = *rings[w];
+    try {
+      for (std::size_t c = w; c < chunks; c += workers) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (failed.load(std::memory_order_acquire)) {
+            return;
+          }
+          result_t result = work(i);
+          // Backpressure: a full ring parks this producer (only this
+          // one — the sink is behind on *our* items) until the
+          // sequencer drains a slot or the run is cancelled. try_push
+          // leaves `result` intact on failure, so the retry is safe.
+          while (!ring.try_push(std::move(result))) {
+            if (failed.load(std::memory_order_acquire)) {
+              return;
+            }
+            std::this_thread::yield();
+          }
+        }
+      }
+    } catch (...) {
+      record_failure(std::current_exception());
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+
+  // The plan-order sequencer: ticket i lives at the head of the ring
+  // owned by chunk i's worker — pop it, assert monotonicity, stream it.
+  sequencer_ticket ticket;
+  bool aborted = false;
+  try {
+    for (std::size_t c = 0; c < chunks && !aborted; ++c) {
+      spsc_ring<result_t>& ring = *rings[c % workers];
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::optional<result_t> item;
+        while (!(item = ring.try_pop())) {
+          if (failed.load(std::memory_order_acquire)) {
+            aborted = true;
+            break;
+          }
+          std::this_thread::yield();
+        }
+        if (aborted) {
+          break;
+        }
+        ticket.advance(i);
+        consume(i, std::move(*item));
+      }
+    }
+  } catch (...) {
+    record_failure(std::current_exception());
+  }
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace certquic::engine

@@ -1,0 +1,249 @@
+// Streaming-executor tests: the SPSC-ring pipeline must be
+// bit-identical to the historical chunk-and-join path at 1/2/8/16
+// threads across both the reach (census) and backscatter backends, must
+// keep workers producing while a slow sink drains (no join barrier),
+// must survive degenerate ring capacities, must propagate worker and
+// sink exceptions, and must die on a sequencer-ticket monotonicity
+// violation in assert-enabled builds.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/amplification_study.hpp"
+#include "core/census.hpp"
+#include "engine/backend.hpp"
+#include "engine/engine.hpp"
+#include "engine/streaming_executor.hpp"
+
+namespace certquic {
+namespace {
+
+const internet::model& shared_model() {
+  static const internet::model m =
+      internet::model::generate({.domains = 2000, .seed = 42});
+  return m;
+}
+
+std::string full(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+std::string digest(const stats::sample_set& s) {
+  std::ostringstream out;
+  out << s.size();
+  if (!s.empty()) {
+    out << ' ' << full(s.mean()) << ' ' << full(s.min()) << ' '
+        << full(s.median()) << ' ' << full(s.max());
+  }
+  return out.str();
+}
+
+std::string digest(const core::census_result& census) {
+  std::ostringstream out;
+  out << census.initial_size << '|' << census.probed << '|';
+  for (const auto count : census.counts) {
+    out << count << ',';
+  }
+  out << '|';
+  for (const auto& group : census.group_counts) {
+    for (const auto count : group) {
+      out << count << ',';
+    }
+  }
+  out << '|' << digest(census.first_burst_amplification);
+  out << '|' << census.multi_tls_exceeding_limit << '|'
+      << census.max_non_tls_bytes << '|' << census.amplifying << '|'
+      << census.amplifying_cloudflare << '|'
+      << digest(census.cloudflare_padding) << '|';
+  for (const auto& [total, tls] : census.multi_rtt_payload) {
+    out << total << ':' << tls << ',';
+  }
+  return out.str();
+}
+
+std::string digest(const engine::unit_outcome& o) {
+  std::ostringstream out;
+  out << o.backscatter.provider << ':' << o.backscatter.bytes << ':'
+      << o.backscatter.datagrams << ':' << o.backscatter.first_seen << ':'
+      << o.backscatter.last_seen << ':' << o.probe.obs.bytes_sent_total;
+  return out.str();
+}
+
+std::string census_digest(engine::options opt) {
+  core::census_options census_opt;
+  census_opt.initial_size = 1362;
+  census_opt.max_services = 300;
+  return digest(core::run_census(shared_model(), census_opt, opt));
+}
+
+TEST(StreamingExecutor, CensusMatchesChunkedPathAtEveryThreadCount) {
+  // The reach backend through both executors: byte-identical aggregates
+  // at 1/2/8/16 threads, and both equal to serial.
+  const std::string serial = census_digest(engine::options::serial());
+  for (const std::size_t threads : {1UL, 2UL, 8UL, 16UL}) {
+    const std::string streaming = census_digest(
+        {.threads = threads, .mode = engine::executor_mode::streaming});
+    const std::string chunked = census_digest(
+        {.threads = threads, .mode = engine::executor_mode::chunked});
+    EXPECT_EQ(serial, streaming)
+        << "streaming diverged from serial at " << threads << " threads";
+    EXPECT_EQ(streaming, chunked)
+        << "executors diverged at " << threads << " threads";
+  }
+}
+
+TEST(StreamingExecutor, BackscatterBackendMatchesChunkedPath) {
+  // The shared-world backend through run_backend: per-unit outcomes in
+  // plan order must be identical across executors and thread counts.
+  const auto plan = core::build_telescope_plan(
+      shared_model(), {.sessions_per_provider = 20});
+  const engine::backscatter_backend backend{plan};
+
+  const auto collect = [&](engine::options opt) {
+    std::vector<std::string> digests;
+    engine::run_backend(backend, opt,
+                        [&](std::size_t, engine::unit_outcome&& o) {
+                          digests.push_back(digest(o));
+                        });
+    return digests;
+  };
+  const auto serial = collect(engine::options::serial());
+  ASSERT_EQ(serial.size(), plan.sessions.size());
+  for (const std::size_t threads : {2UL, 8UL, 16UL}) {
+    EXPECT_EQ(serial,
+              collect({.threads = threads,
+                       .mode = engine::executor_mode::streaming}))
+        << "streaming backscatter diverged at " << threads << " threads";
+    EXPECT_EQ(serial, collect({.threads = threads,
+                               .mode = engine::executor_mode::chunked}))
+        << "chunked backscatter diverged at " << threads << " threads";
+  }
+}
+
+TEST(StreamingExecutor, WorkersKeepProducingWhileSinkStalls) {
+  // The no-join-barrier property: park the sequencer inside the very
+  // first consume call until every work(i) has run. Under chunk-and-join
+  // windowing workers would stall long before n items; under streaming,
+  // each worker owns 64 items and a 128-slot ring, so all n results are
+  // produced while consume(0) is still blocked.
+  constexpr std::size_t kN = 256;
+  std::atomic<std::size_t> produced{0};
+  std::vector<std::size_t> order;
+  order.reserve(kN);
+  engine::streaming_parallel_ordered(
+      kN, /*threads=*/4, /*chunk=*/16, /*ring_capacity=*/128,
+      [&](std::size_t i) {
+        produced.fetch_add(1);
+        return i * 3;
+      },
+      [&](std::size_t i, std::size_t result) {
+        if (i == 0) {
+          while (produced.load() < kN) {
+            std::this_thread::yield();
+          }
+        }
+        EXPECT_EQ(result, i * 3);
+        order.push_back(i);
+      });
+  ASSERT_EQ(order.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(order[i], i) << "delivery left plan order";
+  }
+}
+
+TEST(StreamingExecutor, CapacityOneRingsStillDeliverInPlanOrder) {
+  // Degenerate ring: every push waits for the matching pop, maximizing
+  // producer/sequencer interleaving. Order and values must still hold.
+  constexpr std::size_t kN = 257;
+  std::size_t expected = 0;
+  engine::streaming_parallel_ordered(
+      kN, /*threads=*/8, /*chunk=*/4, /*ring_capacity=*/1,
+      [](std::size_t i) { return i + 1; },
+      [&](std::size_t i, std::size_t result) {
+        EXPECT_EQ(i, expected);
+        EXPECT_EQ(result, i + 1);
+        ++expected;
+      });
+  EXPECT_EQ(expected, kN);
+}
+
+TEST(StreamingExecutor, PropagatesWorkerExceptions) {
+  std::atomic<std::size_t> consumed{0};
+  EXPECT_THROW(
+      engine::streaming_parallel_ordered(
+          1000, /*threads=*/4, /*chunk=*/8, /*ring_capacity=*/16,
+          [](std::size_t i) {
+            if (i == 57) {
+              throw std::runtime_error("probe failed");
+            }
+            return i;
+          },
+          [&](std::size_t, std::size_t) { consumed.fetch_add(1); }),
+      std::runtime_error);
+  EXPECT_LE(consumed.load(), 57u) << "consume must stop at the failure";
+}
+
+TEST(StreamingExecutor, PropagatesConsumeExceptions) {
+  std::atomic<std::size_t> worked{0};
+  EXPECT_THROW(
+      engine::streaming_parallel_ordered(
+          1000, /*threads=*/4, /*chunk=*/8, /*ring_capacity=*/16,
+          [&](std::size_t i) {
+            worked.fetch_add(1);
+            return i;
+          },
+          [](std::size_t i, std::size_t) {
+            if (i == 10) {
+              throw std::runtime_error("sink failed");
+            }
+          }),
+      std::runtime_error);
+  // Cancellation is prompt: workers see the failure flag and bail well
+  // before the full index space.
+  EXPECT_LT(worked.load(), 1000u);
+}
+
+TEST(StreamingExecutor, EnvSelectsExecutorMode) {
+  // options::mode wins over the environment; automatic defers to it.
+  EXPECT_EQ(engine::resolved_mode({.mode = engine::executor_mode::chunked}),
+            engine::executor_mode::chunked);
+  EXPECT_EQ(engine::resolved_mode({.mode = engine::executor_mode::streaming}),
+            engine::executor_mode::streaming);
+  // Default environment in the test harness has no CERTQUIC_EXECUTOR:
+  // automatic resolves to streaming.
+  if (std::getenv("CERTQUIC_EXECUTOR") == nullptr) {
+    EXPECT_EQ(engine::resolved_mode({}), engine::executor_mode::streaming);
+  }
+}
+
+#if defined(CERTQUIC_ENABLE_ASSERTS)
+TEST(SequencerTicketDeath, DetectsGapSkipAndReplay) {
+  {
+    engine::sequencer_ticket ticket;
+    ticket.advance(0);
+    ticket.advance(1);
+    EXPECT_DEATH_IF_SUPPORTED(ticket.advance(3), "left plan order");
+  }
+  {
+    engine::sequencer_ticket ticket;
+    ticket.advance(0);
+    EXPECT_DEATH_IF_SUPPORTED(ticket.advance(0), "left plan order");
+  }
+  {
+    engine::sequencer_ticket ticket;
+    EXPECT_DEATH_IF_SUPPORTED(ticket.advance(5), "left plan order");
+  }
+}
+#endif  // CERTQUIC_ENABLE_ASSERTS
+
+}  // namespace
+}  // namespace certquic

@@ -1,0 +1,26 @@
+// Lint fixture: an SPSC-ring-shaped class that tests its cursors with
+// a plain (memberless) atomic read — the exact misuse atomic-plain
+// exists to catch: `head_ == tail_` is an implicit seq_cst load where
+// the ring protocol requires an explicit acquire.
+#include <atomic>
+#include <cstddef>
+
+namespace demo {
+
+class bad_ring {
+ public:
+  bool empty() const {
+    return head_ == tail_;  // plain load where acquire is required
+  }
+
+  bool empty_correctly() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace demo

@@ -43,6 +43,7 @@ TEST(LintFixtures, FindsExactlyTheKnownViolations) {
                 {"core/mixed.cpp", 7, "float-accum"},
                 {"engine/hash_iter.cpp", 12, "unordered-iter"},
                 {"engine/pair.cpp", 10, "unordered-iter"},
+                {"engine/ring_misuse.cpp", 13, "atomic-plain"},
                 {"net/wall.cpp", 8, "nondet-source"},
                 {"scan/seeded.cpp", 8, "raw-rng"},
                 {"util/clocky.cpp", 8, "nondet-source"},
@@ -113,6 +114,7 @@ TEST(LintRules, KnownRuleIds) {
   EXPECT_TRUE(known_rule("unordered-iter"));
   EXPECT_TRUE(known_rule("float-accum"));
   EXPECT_TRUE(known_rule("raw-rng"));
+  EXPECT_TRUE(known_rule("atomic-plain"));
   EXPECT_FALSE(known_rule("made-up-rule"));
 }
 

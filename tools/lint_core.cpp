@@ -20,6 +20,7 @@ const std::vector<std::string> kRules = {
     "unordered-iter",
     "float-accum",
     "raw-rng",
+    "atomic-plain",
 };
 
 /// Files allowed to construct rng directly: the generator itself.
@@ -36,6 +37,15 @@ bool in_aggregator_paths(const std::string& relative_path) {
   return starts_with(relative_path, "engine/") ||
          starts_with(relative_path, "core/") ||
          starts_with(relative_path, "service/");
+}
+
+/// atomic-plain applies where lock-free executor code lives: plain
+/// (memberless) use of a std::atomic both hides the intended ordering
+/// (implicit seq_cst reads as "unconsidered") and breaks the ring's
+/// documented acquire/release contract when someone reaches for
+/// `head_ == tail_` instead of an explicit acquire load.
+bool in_executor_paths(const std::string& relative_path) {
+  return starts_with(relative_path, "engine/");
 }
 
 /// float-accum applies to golden-feeding paths.
@@ -106,6 +116,18 @@ std::set<std::string> float_decls(const std::string& flat) {
   return names;
 }
 
+/// Identifiers declared std::atomic<...> in this unit.
+std::set<std::string> atomic_decls(const std::string& flat) {
+  static const std::regex decl{
+      R"(std\s*::\s*atomic\s*<[^;]*?>\s*([A-Za-z_]\w*)\s*[;={(])"};
+  std::set<std::string> names;
+  for (std::sregex_iterator it{flat.begin(), flat.end(), decl}, end;
+       it != end; ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
 struct nondet_pattern {
   std::regex re;
   const char* what;
@@ -150,10 +172,12 @@ const std::vector<std::regex>& raw_rng_patterns() {
 void lint_lines(const std::string& relative_path, const std::string& content,
                 const std::set<std::string>& unordered_names,
                 const std::set<std::string>& float_names,
+                const std::set<std::string>& atomic_names,
                 std::vector<finding>& out) {
   const bool check_unordered = in_aggregator_paths(relative_path);
   const bool check_float = in_golden_paths(relative_path);
   const bool check_rng = !rng_allowlisted(relative_path);
+  const bool check_atomic = in_executor_paths(relative_path);
 
   // Per-name iteration/accumulation regexes, built once per file.
   std::vector<std::pair<std::string, std::regex>> iter_res;
@@ -170,6 +194,19 @@ void lint_lines(const std::string& relative_path, const std::string& content,
       accum_res.emplace_back(
           name, std::regex{R"(\b)" + name +
                            R"(\s*(?:\[[^\]]*\])?\s*[+-]=)"});
+    }
+  }
+  // Plain (memberless) atomic use: the name with no `.load(...)` /
+  // `.store(...)` / other member call after it and no member/scope
+  // qualifier before it. Declaration lines (contain `atomic<`) are
+  // exempt.
+  std::vector<std::pair<std::string, std::regex>> atomic_res;
+  static const std::regex atomic_decl_line{R"(atomic\s*<)"};
+  if (check_atomic) {
+    for (const std::string& name : atomic_names) {
+      atomic_res.emplace_back(
+          name, std::regex{R"((?:^|[^A-Za-z0-9_.>:]))" + name +
+                           R"((?![\w]|\s*\.))"});
     }
   }
 
@@ -216,6 +253,21 @@ void lint_lines(const std::string& relative_path, const std::string& content,
                          "floating-point accumulation into '" + name +
                              "' in a golden-feeding path — waive with the "
                              "reason the order is deterministic",
+                         raw});
+          break;
+        }
+      }
+    }
+    if (check_atomic && !waived("atomic-plain") &&
+        !std::regex_search(line, atomic_decl_line)) {
+      for (const auto& [name, re] : atomic_res) {
+        if (std::regex_search(line, re)) {
+          out.push_back({relative_path, line_no, "atomic-plain",
+                         "plain use of std::atomic '" + name +
+                             "' — implicit seq_cst hides the intended "
+                             "ordering; use an explicit .load/.store with "
+                             "the memory order the protocol requires "
+                             "(acquire/release for ring cursors)",
                          raw});
           break;
         }
@@ -315,7 +367,7 @@ std::vector<finding> lint_source(const std::string& relative_path,
   const std::string flat = flatten(content);
   std::vector<finding> out;
   lint_lines(relative_path, content, unordered_decls(flat),
-             float_decls(flat), out);
+             float_decls(flat), atomic_decls(flat), out);
   return out;
 }
 
@@ -331,6 +383,7 @@ report lint_files(const std::vector<std::string>& files,
   sources.reserve(files.size());
   std::map<std::string, std::set<std::string>> unit_unordered;
   std::map<std::string, std::set<std::string>> unit_float;
+  std::map<std::string, std::set<std::string>> unit_atomic;
   for (const std::string& file : files) {
     loaded src{relativize(file, root), read_file(file)};
     const std::string flat = flatten(src.content);
@@ -341,6 +394,9 @@ report lint_files(const std::vector<std::string>& files,
     for (const std::string& name : float_decls(flat)) {
       unit_float[key].insert(name);
     }
+    for (const std::string& name : atomic_decls(flat)) {
+      unit_atomic[key].insert(name);
+    }
     sources.push_back(std::move(src));
   }
 
@@ -349,7 +405,7 @@ report lint_files(const std::vector<std::string>& files,
   for (const loaded& src : sources) {
     const std::string key = unit_key(src.relative);
     lint_lines(src.relative, src.content, unit_unordered[key],
-               unit_float[key], all);
+               unit_float[key], unit_atomic[key], all);
   }
   std::sort(all.begin(), all.end(), [](const finding& a, const finding& b) {
     return std::tie(a.path, a.line, a.rule) < std::tie(b.path, b.line, b.rule);

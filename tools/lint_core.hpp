@@ -31,6 +31,15 @@
 //                   paths must derive seeds via
 //                   engine::probe_seed(base_seed, domain, salt) or an
 //                   explicitly waived scheme.
+//   atomic-plain    plain (memberless) use of a variable declared
+//                   std::atomic in engine/ — e.g. `head_ == tail_` or
+//                   `flag = true` where the lock-free ring protocol
+//                   requires an explicit .load(acquire) /
+//                   .store(release). Implicit seq_cst compiles and
+//                   races-free under TSan, but it hides the intended
+//                   ordering and invites the plain-load-where-acquire-
+//                   is-required misuse the streaming executor's rings
+//                   depend on never happening.
 //
 // The scanner is line-based and deliberately simple: it prefers a
 // rare false positive (answered with a one-line waiver carrying a

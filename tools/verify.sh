@@ -3,7 +3,7 @@
 # Exits nonzero on any configure, build or test failure.
 #
 # Usage: tools/verify.sh [--docs] [--outofcore] [--threads N] [--sanitize]
-#                        [extra ctest args...]
+#                        [--bench] [extra ctest args...]
 #   tools/verify.sh                 # full tier-1 + tier-2 run + determinism
 #                                   # lint + out-of-core and epochs
 #                                   # (kill-resume) smokes + docs check
@@ -25,6 +25,12 @@
 #                                   # CERTQUIC_ASSERT enabled; zero
 #                                   # suppressions outside
 #                                   # tools/lint_waivers.txt.
+#   tools/verify.sh --bench         # throughput gate: build, run the
+#                                   # bench/throughput_* suite (census,
+#                                   # corpus, spill, epochs) on the smoke
+#                                   # population, assemble
+#                                   # build/BENCH_throughput.json and
+#                                   # sanity-check its keys.
 # Flags combine in any order; the docs and out-of-core checks run in
 # every build mode. All builds configure with -DCERTQUIC_WERROR=ON —
 # the tree is warning-clean and stays that way.
@@ -149,11 +155,51 @@ lint_check() {
   fi
 }
 
+# Throughput gate: each bench/throughput_* binary runs on the smoke
+# population and writes one single-line JSON object; the objects are
+# assembled into build/BENCH_throughput.json and the required keys are
+# checked. Expects cwd = build/.
+bench_check() {
+  tp_dir=$(mktemp -d)
+  tp_status=0
+  tp_env="CERTQUIC_DOMAINS=2000 CERTQUIC_SEED=42 CERTQUIC_SAMPLE=200 \
+CERTQUIC_PQ_PROFILE=classical"
+  printf '{"bench": "throughput", "paths": [\n' > "$tp_dir/assembled.json"
+  tp_sep=""
+  for tp_path in census corpus spill epochs; do
+    if ! env $tp_env CERTQUIC_BENCH_JSON="$tp_dir/$tp_path.json" \
+         "./bench/throughput_$tp_path" > "$tp_dir/$tp_path.txt" 2>&1; then
+      echo "FAIL bench: throughput_$tp_path exited nonzero"
+      cat "$tp_dir/$tp_path.txt"
+      tp_status=1
+      continue
+    fi
+    for key in '"path": "'"$tp_path"'"' '"probes_per_sec"' \
+               '"records_per_sec"' '"wall_seconds"' '"threads"'; do
+      if ! grep -q "$key" "$tp_dir/$tp_path.json"; then
+        echo "FAIL bench: throughput_$tp_path JSON missing key $key"
+        tp_status=1
+      fi
+    done
+    printf '%s  ' "$tp_sep" >> "$tp_dir/assembled.json"
+    cat "$tp_dir/$tp_path.json" >> "$tp_dir/assembled.json"
+    tp_sep=","
+  done
+  printf ']}\n' >> "$tp_dir/assembled.json"
+  if [ "$tp_status" -eq 0 ]; then
+    cp "$tp_dir/assembled.json" BENCH_throughput.json
+    echo "OK   bench: BENCH_throughput.json written (census/corpus/spill/epochs)"
+  fi
+  rm -rf "$tp_dir"
+  return "$tp_status"
+}
+
 # Flags may appear in any order; everything unrecognized is passed on
 # to ctest.
 docs_only=0
 outofcore_only=0
 sanitize=0
+bench=0
 engine_threads=""
 while [ $# -gt 0 ]; do
   case $1 in
@@ -169,6 +215,10 @@ while [ $# -gt 0 ]; do
       sanitize=1
       shift
       ;;
+    --bench)
+      bench=1
+      shift
+      ;;
     --threads)
       engine_threads=${2:?--threads needs a value}
       shift 2
@@ -180,7 +230,8 @@ while [ $# -gt 0 ]; do
 done
 
 if [ "$docs_only" -eq 1 ] && [ "$outofcore_only" -eq 0 ] &&
-   [ "$sanitize" -eq 0 ] && [ -z "$engine_threads" ]; then
+   [ "$sanitize" -eq 0 ] && [ "$bench" -eq 0 ] &&
+   [ -z "$engine_threads" ]; then
   docs_check
   exit $?
 fi
@@ -205,7 +256,7 @@ if [ "$sanitize" -eq 1 ]; then
   cmake -B build-tsan -S . -DCERTQUIC_WERROR=ON -DCERTQUIC_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   (cd build-tsan && ctest --output-on-failure -j "$jobs" "$@" -R \
-    '^(engine_test|backend_test|outofcore_test|service_test|ttfb_test|stats_test|net_test)$')
+    '^(engine_test|backend_test|ring_test|executor_test|outofcore_test|service_test|ttfb_test|stats_test|net_test)$')
 
   echo "OK   sanitize: ASan+UBSan tier-1 and TSan threaded suites clean"
   exit 0
@@ -218,6 +269,14 @@ cd build
 if [ "$outofcore_only" -eq 1 ] && [ -z "$engine_threads" ]; then
   status=0
   outofcore_check || status=1
+  cd "$repo_root"
+  docs_check || status=1
+  exit "$status"
+fi
+
+if [ "$bench" -eq 1 ] && [ -z "$engine_threads" ]; then
+  status=0
+  bench_check || status=1
   cd "$repo_root"
   docs_check || status=1
   exit "$status"
@@ -282,6 +341,9 @@ for bin in fig02_cert_field_sizes fig04_amplification_cdf \
 done
 outofcore_check || status=1
 epochs_check || status=1
+if [ "$bench" -eq 1 ]; then
+  bench_check || status=1
+fi
 cd "$repo_root"
 lint_check || status=1
 docs_check || status=1
