@@ -4,7 +4,6 @@
 
 #include "util/errors.hpp"
 #include "x509/extensions.hpp"
-#include "x509/oids.hpp"
 
 namespace certquic::ca {
 

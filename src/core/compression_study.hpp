@@ -5,7 +5,6 @@
 
 #include <array>
 
-#include "compress/codec.hpp"
 #include "engine/engine.hpp"
 #include "internet/chain_cache.hpp"
 #include "internet/model.hpp"

@@ -38,7 +38,6 @@
 #include "engine/sink.hpp"
 #include "engine/streaming_executor.hpp"
 #include "internet/model.hpp"
-#include "util/assert.hpp"
 
 namespace certquic::engine {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tls/handshake.hpp"
 #include "util/errors.hpp"
 
 namespace certquic::quic {

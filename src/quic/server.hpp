@@ -8,7 +8,6 @@
 
 #include "net/simulator.hpp"
 #include "quic/behavior.hpp"
-#include "tls/handshake.hpp"
 #include "util/rng.hpp"
 #include "x509/chain.hpp"
 

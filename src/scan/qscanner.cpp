@@ -1,7 +1,6 @@
 #include "scan/qscanner.hpp"
 
 #include "asn1/der.hpp"
-#include "tls/handshake.hpp"
 #include "util/hex.hpp"
 
 namespace certquic::scan {

@@ -1,0 +1,5 @@
+#include "base/thing.hpp"
+
+namespace fx {
+int base_value() { return 7; }
+}

@@ -1,0 +1,5 @@
+#include "mid/widget.hpp"
+
+namespace fx {
+int widget_value() { return widget_base() + 1; }
+}

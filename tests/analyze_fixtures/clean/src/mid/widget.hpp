@@ -1,0 +1,8 @@
+#pragma once
+
+#include "base/thing.hpp"
+
+namespace fx {
+int widget_value();
+inline int widget_base() { return base_value(); }
+}

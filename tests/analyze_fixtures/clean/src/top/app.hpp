@@ -1,0 +1,7 @@
+#pragma once
+
+#include "mid/widget.hpp"
+
+namespace fx {
+inline int app_value() { return widget_value(); }
+}

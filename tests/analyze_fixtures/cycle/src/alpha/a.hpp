@@ -1,0 +1,7 @@
+#pragma once
+
+#include "beta/b.hpp"
+
+namespace fx {
+inline int a_value() { return b_value(); }
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int a2_value() { return 11; }
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "alpha/a2.hpp"
+
+namespace fx {
+inline int b_value() { return a2_value(); }
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int r_value() { return 1; }
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int x_value() { return 2; }
+}

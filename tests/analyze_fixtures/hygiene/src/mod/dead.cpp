@@ -1,0 +1,5 @@
+#include "mod/unused.hpp"
+
+namespace fx {
+int dead_value() { return 9; }
+}

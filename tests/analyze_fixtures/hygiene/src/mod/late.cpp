@@ -1,0 +1,6 @@
+#include "mod/other.hpp"
+#include "mod/late.hpp"
+
+namespace fx {
+int late_value() { return other_value(); }
+}

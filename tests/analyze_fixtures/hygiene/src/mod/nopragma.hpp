@@ -1,0 +1,3 @@
+namespace fx {
+int nopragma_value();
+}

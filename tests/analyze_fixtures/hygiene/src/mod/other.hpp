@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int other_value() { return 2; }
+}

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int spare_helper() { return 4; }

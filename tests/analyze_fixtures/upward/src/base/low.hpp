@@ -1,0 +1,7 @@
+#pragma once
+
+#include "top/high.hpp"
+
+namespace fx {
+inline int low_value() { return high_value(); }
+}

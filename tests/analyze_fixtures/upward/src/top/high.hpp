@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int high_value() { return 3; }
+}

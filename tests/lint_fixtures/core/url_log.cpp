@@ -1,0 +1,16 @@
+// Regression: a `//` inside a string literal (URL) must NOT truncate
+// the line before rule matching — the accumulation after the string
+// on the same line has to be found.
+#include <string>
+
+namespace fx {
+
+struct tally {
+  double total = 0;
+};
+
+void log_and_add(tally& t, double x) {
+  const std::string endpoint = "http://crt.example/logs"; t.total += x;
+}
+
+}  // namespace fx

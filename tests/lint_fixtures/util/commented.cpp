@@ -1,0 +1,17 @@
+// Regression: rule patterns inside block comments, string literals
+// and raw string literals must never match — this file has zero
+// findings.
+#include <string>
+
+/* The probe path must never call std::rand or
+   std::chrono::system_clock::now() — simulated time only. */
+
+namespace fx {
+
+std::string rejected_apis() {
+  std::string msg = "do not call srand(time(nullptr)) or gettimeofday";
+  msg += R"(steady_clock, random_device and clock_gettime( are banned)";
+  return msg;
+}
+
+}  // namespace fx

@@ -41,6 +41,7 @@ TEST(LintFixtures, FindsExactlyTheKnownViolations) {
   EXPECT_EQ(keys(rep.findings),
             (std::vector<std::tuple<std::string, std::size_t, std::string>>{
                 {"core/mixed.cpp", 7, "float-accum"},
+                {"core/url_log.cpp", 13, "float-accum"},
                 {"engine/hash_iter.cpp", 12, "unordered-iter"},
                 {"engine/pair.cpp", 10, "unordered-iter"},
                 {"engine/ring_misuse.cpp", 13, "atomic-plain"},
@@ -49,6 +50,34 @@ TEST(LintFixtures, FindsExactlyTheKnownViolations) {
                 {"util/clocky.cpp", 8, "nondet-source"},
             }));
   EXPECT_TRUE(rep.unused_waivers.empty());
+}
+
+TEST(LintFixtures, StringLiteralSlashSlashDoesNotTruncateTheLine) {
+  // core/url_log.cpp puts a float accumulation AFTER a "http://..."
+  // URL string on the same line. The old line-based scanner cut the
+  // line at the `//` inside the string and missed the accumulation;
+  // the token scanner blanks the literal body instead and must find
+  // it at the pinned line.
+  const auto files = collect_sources(kFixtureRoot);
+  const report rep = lint_files(files, kFixtureRoot, {});
+  const bool hit = std::any_of(
+      rep.findings.begin(), rep.findings.end(), [](const finding& f) {
+        return f.path == "core/url_log.cpp" && f.line == 13 &&
+               f.rule == "float-accum";
+      });
+  EXPECT_TRUE(hit);
+}
+
+TEST(LintFixtures, CommentsAndLiteralsNeverMatch) {
+  // util/commented.cpp spells every nondet-source pattern inside a
+  // block comment, a string literal and a raw string literal — zero
+  // findings (the old scanner flagged the block-comment lines).
+  const auto files = collect_sources(kFixtureRoot);
+  const report rep = lint_files(files, kFixtureRoot, {});
+  for (const finding& f : rep.findings) {
+    EXPECT_NE(f.path, "util/commented.cpp")
+        << f.line << ": [" << f.rule << "] " << f.source_line;
+  }
 }
 
 TEST(LintFixtures, HeaderDeclarationsReachTheCompanionSource) {
@@ -115,7 +144,30 @@ TEST(LintRules, KnownRuleIds) {
   EXPECT_TRUE(known_rule("float-accum"));
   EXPECT_TRUE(known_rule("raw-rng"));
   EXPECT_TRUE(known_rule("atomic-plain"));
+  // The analyzer's rule ids are valid waiver targets too.
+  EXPECT_TRUE(known_rule("layer-upward"));
+  EXPECT_TRUE(known_rule("layer-cycle"));
+  EXPECT_TRUE(known_rule("layer-drift"));
+  EXPECT_TRUE(known_rule("pragma-once"));
+  EXPECT_TRUE(known_rule("self-contained"));
+  EXPECT_TRUE(known_rule("unused-include"));
   EXPECT_FALSE(known_rule("made-up-rule"));
+}
+
+TEST(LintRules, OutOfScopeWaiversAreNeitherAppliedNorStale) {
+  // An analyzer-rule waiver must not be reported stale by a lint-only
+  // run (lint_rules scope), but must participate under all_rules.
+  waiver w;
+  w.rule = "unused-include";
+  w.path = "mod/dead.cpp";
+  w.substring = "*";
+  w.reason = "scope test";
+  w.file_line = 1;
+  const report lint_scope = apply_waivers({}, {w}, lint_rules());
+  EXPECT_TRUE(lint_scope.clean());
+  const report full_scope = apply_waivers({}, {w}, all_rules());
+  ASSERT_EQ(full_scope.unused_waivers.size(), 1u);
+  EXPECT_EQ(full_scope.unused_waivers[0].rule, "unused-include");
 }
 
 TEST(LintRealTree, SrcLintsCleanAgainstCheckedInWaivers) {

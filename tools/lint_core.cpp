@@ -5,23 +5,15 @@
 #include <fstream>
 #include <map>
 #include <regex>
-#include <set>
 #include <sstream>
 
+#include "analyze_core.hpp"
 #include "util/errors.hpp"
 
 namespace certquic::lint {
 namespace {
 
 constexpr const char* kInlineWaiverTag = "certquic-lint: allow ";
-
-const std::vector<std::string> kRules = {
-    "nondet-source",
-    "unordered-iter",
-    "float-accum",
-    "raw-rng",
-    "atomic-plain",
-};
 
 /// Files allowed to construct rng directly: the generator itself.
 bool rng_allowlisted(const std::string& relative_path) {
@@ -56,16 +48,9 @@ bool in_golden_paths(const std::string& relative_path) {
          starts_with(relative_path, "stats/");
 }
 
-/// Strips a trailing // comment (no string-literal modelling — the
-/// scanner trades that corner for simplicity; waive the rare false
-/// positive).
-std::string strip_line_comment(const std::string& line) {
-  const std::size_t pos = line.find("//");
-  return pos == std::string::npos ? line : line.substr(0, pos);
-}
-
 /// Rules waived by an inline "// certquic-lint: allow <rule> — reason"
-/// comment on this raw line.
+/// comment on this raw line. Raw, not scrubbed: the allowance lives in
+/// a comment, which the token scanner blanks.
 std::set<std::string> inline_allowances(const std::string& raw_line) {
   std::set<std::string> out;
   std::size_t pos = 0;
@@ -83,11 +68,16 @@ std::set<std::string> inline_allowances(const std::string& raw_line) {
   return out;
 }
 
-/// Whole-file content with newlines flattened, for declaration regexes
-/// that must see across wrapped lines.
-std::string flatten(const std::string& content) {
-  std::string out = content;
-  std::replace(out.begin(), out.end(), '\n', ' ');
+/// The scrubbed code view flattened to one line, for declaration
+/// regexes that must see across wrapped lines. Comments and literal
+/// bodies are already spaces here, so `double` in a doc comment never
+/// registers a declaration.
+std::string flatten_code(const analyze::scanned_file& scan) {
+  std::string out;
+  for (const std::string& line : scan.code_lines) {
+    out += line;
+    out += ' ';
+  }
   return out;
 }
 
@@ -169,19 +159,37 @@ const std::vector<std::regex>& raw_rng_patterns() {
   return patterns;
 }
 
-void lint_lines(const std::string& relative_path, const std::string& content,
-                const std::set<std::string>& unordered_names,
-                const std::set<std::string>& float_names,
-                const std::set<std::string>& atomic_names,
-                std::vector<finding>& out) {
-  const bool check_unordered = in_aggregator_paths(relative_path);
-  const bool check_float = in_golden_paths(relative_path);
-  const bool check_rng = !rng_allowlisted(relative_path);
-  const bool check_atomic = in_executor_paths(relative_path);
+/// Which of the five rules to run over a unit.
+struct rule_mask {
+  bool nondet = true;
+  bool unordered = false;
+  bool float_accum = false;
+  bool atomic = false;
+  bool rng = false;
+};
 
+rule_mask mask_for(const std::string& relative_path) {
+  rule_mask m;
+  m.unordered = in_aggregator_paths(relative_path);
+  m.float_accum = in_golden_paths(relative_path);
+  m.atomic = in_executor_paths(relative_path);
+  m.rng = !rng_allowlisted(relative_path);
+  return m;
+}
+
+/// Matches all enabled rules against the scanned file. Every regex
+/// runs on the BLANKED code line (scan.code_lines), so commented-out
+/// and quoted text can't match; findings carry the RAW line, which is
+/// what waiver substrings and humans read.
+void lint_scanned(const std::string& relative_path,
+                  const analyze::scanned_file& scan, const rule_mask& mask,
+                  const std::set<std::string>& unordered_names,
+                  const std::set<std::string>& float_names,
+                  const std::set<std::string>& atomic_names,
+                  std::vector<finding>& out) {
   // Per-name iteration/accumulation regexes, built once per file.
   std::vector<std::pair<std::string, std::regex>> iter_res;
-  if (check_unordered) {
+  if (mask.unordered) {
     for (const std::string& name : unordered_names) {
       iter_res.emplace_back(
           name, std::regex{R"((?::\s*[\w.>-]*\b)" + name + R"(\b\s*\)|\b)" +
@@ -189,7 +197,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
     }
   }
   std::vector<std::pair<std::string, std::regex>> accum_res;
-  if (check_float) {
+  if (mask.float_accum) {
     for (const std::string& name : float_names) {
       accum_res.emplace_back(
           name, std::regex{R"(\b)" + name +
@@ -202,7 +210,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
   // exempt.
   std::vector<std::pair<std::string, std::regex>> atomic_res;
   static const std::regex atomic_decl_line{R"(atomic\s*<)"};
-  if (check_atomic) {
+  if (mask.atomic) {
     for (const std::string& name : atomic_names) {
       atomic_res.emplace_back(
           name, std::regex{R"((?:^|[^A-Za-z0-9_.>:]))" + name +
@@ -210,19 +218,17 @@ void lint_lines(const std::string& relative_path, const std::string& content,
     }
   }
 
-  std::istringstream in{content};
-  std::string raw;
   std::set<std::string> prev_allow;
-  std::size_t line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
+  for (std::size_t n = 0; n < scan.raw_lines.size(); ++n) {
+    const std::size_t line_no = n + 1;
+    const std::string& raw = scan.raw_lines[n];
+    const std::string& line = scan.code_lines[n];
     const std::set<std::string> allow = inline_allowances(raw);
     const auto waived = [&](const char* rule) {
       return allow.count(rule) != 0 || prev_allow.count(rule) != 0;
     };
-    const std::string line = strip_line_comment(raw);
 
-    if (!waived("nondet-source")) {
+    if (mask.nondet && !waived("nondet-source")) {
       for (const nondet_pattern& p : nondet_patterns()) {
         if (std::regex_search(line, p.re)) {
           out.push_back({relative_path, line_no, "nondet-source",
@@ -234,7 +240,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
         }
       }
     }
-    if (check_unordered && !waived("unordered-iter")) {
+    if (mask.unordered && !waived("unordered-iter")) {
       for (const auto& [name, re] : iter_res) {
         if (std::regex_search(line, re)) {
           out.push_back({relative_path, line_no, "unordered-iter",
@@ -246,7 +252,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
         }
       }
     }
-    if (check_float && !waived("float-accum")) {
+    if (mask.float_accum && !waived("float-accum")) {
       for (const auto& [name, re] : accum_res) {
         if (std::regex_search(line, re)) {
           out.push_back({relative_path, line_no, "float-accum",
@@ -258,7 +264,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
         }
       }
     }
-    if (check_atomic && !waived("atomic-plain") &&
+    if (mask.atomic && !waived("atomic-plain") &&
         !std::regex_search(line, atomic_decl_line)) {
       for (const auto& [name, re] : atomic_res) {
         if (std::regex_search(line, re)) {
@@ -273,7 +279,7 @@ void lint_lines(const std::string& relative_path, const std::string& content,
         }
       }
     }
-    if (check_rng && !waived("raw-rng")) {
+    if (mask.rng && !waived("raw-rng")) {
       for (const std::regex& re : raw_rng_patterns()) {
         if (std::regex_search(line, re)) {
           out.push_back({relative_path, line_no, "raw-rng",
@@ -316,8 +322,30 @@ std::string unit_key(const std::string& relative_path) {
 
 }  // namespace
 
+const std::set<std::string>& lint_rules() {
+  static const std::set<std::string> rules = {
+      "nondet-source", "unordered-iter", "float-accum",
+      "raw-rng",       "atomic-plain",
+  };
+  return rules;
+}
+
+const std::set<std::string>& all_rules() {
+  static const std::set<std::string> rules = [] {
+    std::set<std::string> r = lint_rules();
+    r.insert("layer-upward");
+    r.insert("layer-cycle");
+    r.insert("layer-drift");
+    r.insert("pragma-once");
+    r.insert("self-contained");
+    r.insert("unused-include");
+    return r;
+  }();
+  return rules;
+}
+
 bool known_rule(const std::string& rule) {
-  return std::find(kRules.begin(), kRules.end(), rule) != kRules.end();
+  return all_rules().count(rule) != 0;
 }
 
 std::vector<waiver> load_waivers(const std::string& path) {
@@ -364,30 +392,41 @@ std::vector<waiver> load_waivers(const std::string& path) {
 
 std::vector<finding> lint_source(const std::string& relative_path,
                                  const std::string& content) {
-  const std::string flat = flatten(content);
+  const analyze::scanned_file scan = analyze::scan_source(content);
+  const std::string flat = flatten_code(scan);
   std::vector<finding> out;
-  lint_lines(relative_path, content, unordered_decls(flat),
-             float_decls(flat), atomic_decls(flat), out);
+  lint_scanned(relative_path, scan, mask_for(relative_path),
+               unordered_decls(flat), float_decls(flat), atomic_decls(flat),
+               out);
   return out;
 }
 
-report lint_files(const std::vector<std::string>& files,
-                  const std::string& root,
-                  const std::vector<waiver>& waivers) {
-  // Pass 1: load everything and merge declaration context per unit.
-  struct loaded {
+std::vector<finding> lint_nondet_only(const std::string& relative_path,
+                                      const std::string& content) {
+  const analyze::scanned_file scan = analyze::scan_source(content);
+  rule_mask mask;  // nondet only
+  mask.unordered = mask.float_accum = mask.atomic = mask.rng = false;
+  std::vector<finding> out;
+  lint_scanned(relative_path, scan, mask, {}, {}, {}, out);
+  return out;
+}
+
+std::vector<finding> lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  // Pass 1: scan everything and merge declaration context per unit.
+  struct scanned_source {
     std::string relative;
-    std::string content;
+    analyze::scanned_file scan;
   };
-  std::vector<loaded> sources;
-  sources.reserve(files.size());
+  std::vector<scanned_source> scans;
+  scans.reserve(sources.size());
   std::map<std::string, std::set<std::string>> unit_unordered;
   std::map<std::string, std::set<std::string>> unit_float;
   std::map<std::string, std::set<std::string>> unit_atomic;
-  for (const std::string& file : files) {
-    loaded src{relativize(file, root), read_file(file)};
-    const std::string flat = flatten(src.content);
-    const std::string key = unit_key(src.relative);
+  for (const auto& [relative, content] : sources) {
+    scanned_source src{relative, analyze::scan_source(content)};
+    const std::string flat = flatten_code(src.scan);
+    const std::string key = unit_key(relative);
     for (const std::string& name : unordered_decls(flat)) {
       unit_unordered[key].insert(name);
     }
@@ -397,27 +436,36 @@ report lint_files(const std::vector<std::string>& files,
     for (const std::string& name : atomic_decls(flat)) {
       unit_atomic[key].insert(name);
     }
-    sources.push_back(std::move(src));
+    scans.push_back(std::move(src));
   }
 
   // Pass 2: lint each file against its unit's declarations.
   std::vector<finding> all;
-  for (const loaded& src : sources) {
+  for (const scanned_source& src : scans) {
     const std::string key = unit_key(src.relative);
-    lint_lines(src.relative, src.content, unit_unordered[key],
-               unit_float[key], unit_atomic[key], all);
+    lint_scanned(src.relative, src.scan, mask_for(src.relative),
+                 unit_unordered[key], unit_float[key], unit_atomic[key], all);
   }
   std::sort(all.begin(), all.end(), [](const finding& a, const finding& b) {
     return std::tie(a.path, a.line, a.rule) < std::tie(b.path, b.line, b.rule);
   });
+  return all;
+}
 
-  // Apply file waivers; every waiver must earn its keep.
+report apply_waivers(std::vector<finding> findings,
+                     const std::vector<waiver>& waivers,
+                     const std::set<std::string>& rules_in_scope) {
   report rep;
   std::vector<bool> used(waivers.size(), false);
-  for (finding& f : all) {
+  std::vector<bool> in_scope(waivers.size(), false);
+  for (std::size_t w = 0; w < waivers.size(); ++w) {
+    in_scope[w] = rules_in_scope.count(waivers[w].rule) != 0;
+  }
+  for (finding& f : findings) {
     bool waived = false;
     for (std::size_t w = 0; w < waivers.size(); ++w) {
-      if (waivers[w].rule == f.rule && waivers[w].path == f.path &&
+      if (in_scope[w] && waivers[w].rule == f.rule &&
+          waivers[w].path == f.path &&
           (waivers[w].substring == "*" ||
            f.source_line.find(waivers[w].substring) != std::string::npos)) {
         used[w] = true;
@@ -430,11 +478,22 @@ report lint_files(const std::vector<std::string>& files,
     }
   }
   for (std::size_t w = 0; w < waivers.size(); ++w) {
-    if (!used[w]) {
+    if (in_scope[w] && !used[w]) {
       rep.unused_waivers.push_back(waivers[w]);
     }
   }
   return rep;
+}
+
+report lint_files(const std::vector<std::string>& files,
+                  const std::string& root,
+                  const std::vector<waiver>& waivers) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    sources.emplace_back(relativize(file, root), read_file(file));
+  }
+  return apply_waivers(lint_sources(sources), waivers, lint_rules());
 }
 
 std::vector<std::string> collect_sources(const std::string& root) {

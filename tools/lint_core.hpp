@@ -41,14 +41,26 @@
 //                   is-required misuse the streaming executor's rings
 //                   depend on never happening.
 //
-// The scanner is line-based and deliberately simple: it prefers a
-// rare false positive (answered with a one-line waiver carrying a
-// reason) over parsing C++. Block comments and string literals are
-// not modelled; `//` comment tails are stripped before matching.
+// The scanner is token-level: every rule matches against the blanked
+// code view produced by analyze::scan_source (tools/analyze_core.*),
+// in which block and line comments and string/char/raw-string literal
+// bodies are spaces. A `//` inside a URL string no longer truncates
+// the line before matching, and a pattern inside a block comment no
+// longer matches at all. Findings still carry the RAW source line —
+// that is what waiver substrings and humans read.
+//
+// The waiver machinery is shared with the architecture analyzer
+// (certquic_analyze): its rule ids (layer-upward, layer-cycle,
+// layer-drift, pragma-once, self-contained, unused-include) are valid
+// in the waiver file too, and `apply_waivers` takes the set of rules
+// in scope for the current run so a lint-only run neither consumes
+// nor staleness-flags an analyzer waiver.
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace certquic::lint {
@@ -94,14 +106,40 @@ struct report {
 /// path-scoped rules apply (unordered-iter: engine/ and core/;
 /// float-accum: engine/, core/ and stats/) and is what waivers match
 /// against. Companion headers/sources share declaration context only
-/// when linted through lint_files (which merges per-basename units).
+/// when linted through lint_files/lint_sources (which merge
+/// per-basename units).
 [[nodiscard]] std::vector<finding> lint_source(
     const std::string& relative_path, const std::string& content);
 
+/// Lints preloaded (relative_path, content) pairs with per-basename
+/// declaration-unit merge, exactly as lint_files does for on-disk
+/// trees. Returns UNWAIVED findings sorted by (path, line, rule);
+/// callers apply waivers via apply_waivers. This is the entry the
+/// architecture analyzer uses — it has already read every file once.
+[[nodiscard]] std::vector<finding> lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+/// Only the nondet-source rule, token-level, for the tools/ self-scan:
+/// the analyzer must obey its own no-wall-clock rule, but tools/ is
+/// not subject to the src/-shaped aggregator/golden-path rules.
+[[nodiscard]] std::vector<finding> lint_nondet_only(
+    const std::string& relative_path, const std::string& content);
+
+/// Applies waivers to findings (first matching waiver wins). A waiver
+/// participates only when its rule is in `rules_in_scope`: out-of-
+/// scope waivers are neither applied nor reported stale, so the
+/// lint-only gate (five lint rules in scope) coexists with the full
+/// analyze gate (all rules in scope, which performs the complete
+/// stale-waiver check).
+[[nodiscard]] report apply_waivers(std::vector<finding> findings,
+                                   const std::vector<waiver>& waivers,
+                                   const std::set<std::string>& rules_in_scope);
+
 /// Lints files on disk. Paths must live under `root`; findings carry
-/// root-relative paths. Waivers are applied (first matching waiver
-/// wins; every waiver must match at least one finding or it is
-/// reported unused). Throws config_error on unreadable files.
+/// root-relative paths. Waivers are applied with the five lint rules
+/// in scope (first matching waiver wins; every in-scope waiver must
+/// match at least one finding or it is reported unused). Throws
+/// config_error on unreadable files.
 [[nodiscard]] report lint_files(const std::vector<std::string>& files,
                                 const std::string& root,
                                 const std::vector<waiver>& waivers);
@@ -110,7 +148,16 @@ struct report {
 [[nodiscard]] std::vector<std::string> collect_sources(
     const std::string& root);
 
-/// True for rule ids the scanner implements (waiver validation).
+/// The five determinism-lint rule ids (the scope of a lint-only run).
+[[nodiscard]] const std::set<std::string>& lint_rules();
+
+/// Every rule id the toolchain implements: the five lint rules plus
+/// the analyzer's layer-upward / layer-cycle / layer-drift /
+/// pragma-once / self-contained / unused-include (the scope of a full
+/// certquic_analyze run, and what the waiver file may name).
+[[nodiscard]] const std::set<std::string>& all_rules();
+
+/// True for rule ids the toolchain implements (waiver validation).
 [[nodiscard]] bool known_rule(const std::string& rule);
 
 }  // namespace certquic::lint

@@ -3,10 +3,11 @@
 # Exits nonzero on any configure, build or test failure.
 #
 # Usage: tools/verify.sh [--docs] [--outofcore] [--threads N] [--sanitize]
-#                        [--bench] [extra ctest args...]
+#                        [--bench] [--analyze] [--tidy] [extra ctest args...]
 #   tools/verify.sh                 # full tier-1 + tier-2 run + determinism
-#                                   # lint + out-of-core and epochs
-#                                   # (kill-resume) smokes + docs check
+#                                   # lint + architecture analyzer + out-of-
+#                                   # core and epochs (kill-resume) smokes +
+#                                   # docs check
 #   tools/verify.sh -L tier1        # tier-1 only (+ lint/smokes/docs)
 #   tools/verify.sh --docs          # docs/golden-coverage check only (no build)
 #   tools/verify.sh --outofcore     # build + out-of-core smoke only: a small
@@ -31,6 +32,19 @@
 #                                   # population, assemble
 #                                   # build/BENCH_throughput.json and
 #                                   # sanity-check its keys.
+#   tools/verify.sh --analyze       # build + architecture analyzer only:
+#                                   # include-graph layering against
+#                                   # tools/layers.txt, IWYU-lite header
+#                                   # hygiene, the token-level lint rules
+#                                   # and the tools/ nondet self-scan;
+#                                   # emits build/depgraph.{json,dot}.
+#                                   # Runs in the default gate too.
+#   tools/verify.sh --tidy          # opt-in: additionally run clang-tidy
+#                                   # (the checked-in .clang-tidy) over
+#                                   # src/ via run-clang-tidy and the
+#                                   # exported compile_commands.json;
+#                                   # skipped with a notice when
+#                                   # run-clang-tidy is not installed.
 # Flags combine in any order; the docs and out-of-core checks run in
 # every build mode. All builds configure with -DCERTQUIC_WERROR=ON —
 # the tree is warning-clean and stays that way.
@@ -155,6 +169,46 @@ lint_check() {
   fi
 }
 
+# Architecture analyzer over the module-registered sources: layering
+# against tools/layers.txt, IWYU-lite header hygiene (pragma-once /
+# self-contained / unused-include), the token-level lint rules and the
+# tools/ nondet-source self-scan — one run, every rule in waiver
+# scope, depgraph.{json,dot} written into build/. The `analyze` target
+# depends on (and builds) the certquic_analyze binary. Expects cwd =
+# repo root.
+analyze_check() {
+  if cmake --build build --target analyze; then
+    echo "OK   analyze: layering + hygiene clean; build/depgraph.json written"
+  else
+    echo "FAIL analyze: architecture analyzer found unwaived findings"
+    return 1
+  fi
+}
+
+# Opt-in clang-tidy stage: the checked-in .clang-tidy over src/,
+# driven by build/compile_commands.json (exported unconditionally by
+# the root CMakeLists). Skips with a notice when run-clang-tidy is
+# not on PATH — the gate must not depend on tools the container may
+# lack. Expects cwd = repo root.
+tidy_check() {
+  tidy_runner=$(command -v run-clang-tidy || true)
+  if [ -z "$tidy_runner" ]; then
+    tidy_runner=$(command -v run-clang-tidy-18 || true)
+  fi
+  if [ -z "$tidy_runner" ]; then
+    echo "SKIP tidy: run-clang-tidy not found on PATH"
+    return 0
+  fi
+  if "$tidy_runner" -p build -quiet "$repo_root/src/.*" \
+       > build/tidy.log 2>&1; then
+    echo "OK   tidy: clang-tidy clean over src/"
+  else
+    echo "FAIL tidy: clang-tidy reported findings (build/tidy.log)"
+    tail -40 build/tidy.log
+    return 1
+  fi
+}
+
 # Throughput gate: each bench/throughput_* binary runs on the smoke
 # population and writes one single-line JSON object; the objects are
 # assembled into build/BENCH_throughput.json and the required keys are
@@ -200,6 +254,8 @@ docs_only=0
 outofcore_only=0
 sanitize=0
 bench=0
+analyze_only=0
+tidy=0
 engine_threads=""
 while [ $# -gt 0 ]; do
   case $1 in
@@ -217,6 +273,14 @@ while [ $# -gt 0 ]; do
       ;;
     --bench)
       bench=1
+      shift
+      ;;
+    --analyze)
+      analyze_only=1
+      shift
+      ;;
+    --tidy)
+      tidy=1
       shift
       ;;
     --threads)
@@ -266,6 +330,18 @@ cmake -B build -S . -DCERTQUIC_WERROR=ON
 cmake --build build -j "$jobs"
 cd build
 
+if [ "$analyze_only" -eq 1 ] && [ "$outofcore_only" -eq 0 ] &&
+   [ "$bench" -eq 0 ] && [ -z "$engine_threads" ]; then
+  cd "$repo_root"
+  status=0
+  analyze_check || status=1
+  if [ "$tidy" -eq 1 ]; then
+    tidy_check || status=1
+  fi
+  docs_check || status=1
+  exit "$status"
+fi
+
 if [ "$outofcore_only" -eq 1 ] && [ -z "$engine_threads" ]; then
   status=0
   outofcore_check || status=1
@@ -291,6 +367,10 @@ if [ -z "$engine_threads" ]; then
   cd "$repo_root"
   status=0
   lint_check || status=1
+  analyze_check || status=1
+  if [ "$tidy" -eq 1 ]; then
+    tidy_check || status=1
+  fi
   docs_check || status=1
   exit "$status"
 fi
@@ -346,5 +426,11 @@ if [ "$bench" -eq 1 ]; then
 fi
 cd "$repo_root"
 lint_check || status=1
+if [ "$analyze_only" -eq 1 ]; then
+  analyze_check || status=1
+fi
+if [ "$tidy" -eq 1 ]; then
+  tidy_check || status=1
+fi
 docs_check || status=1
 exit "$status"
